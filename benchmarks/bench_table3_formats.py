@@ -1,0 +1,46 @@
+"""Table 3 — tensor programs and the best storage formats per system.
+
+Prints the kernel / format matrix this reproduction uses (the "STOREL / Taco"
+column of the paper's Table 3) and benchmarks storing the same matrix in each
+available format, which is the flexibility Sec. 4 is about.
+"""
+
+import pytest
+
+from _config import MATRIX_SCALE, print_report
+from repro.data import suitesparse
+from repro.kernels import KERNELS
+from repro.storage import FORMATS, build_format
+from repro.workloads.experiments import BEST_FORMATS
+from repro.workloads.reporting import format_table
+
+
+def test_table3_report(benchmark):
+    def build():
+        rows = []
+        for kernel_name, formats in BEST_FORMATS.items():
+            kernel = KERNELS[kernel_name]
+            rows.append({
+                "kernel": kernel_name,
+                "definition": kernel.description,
+                "storel_formats": ", ".join(f"{t}:{f}" for t, f in formats.items()),
+                "relational": "COO relations",
+                "numpy": "dense" if kernel_name in ("MMM", "SUMMM", "BATAX") else "n/a",
+                "scipy": "CSR" if kernel_name in ("MMM", "SUMMM", "BATAX") else "n/a",
+            })
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_report(format_table(rows, title="Table 3 — kernels and storage formats"))
+    assert {row["kernel"] for row in rows} == set(BEST_FORMATS)
+
+
+@pytest.mark.parametrize("format_name", sorted(FORMATS))
+def test_store_matrix_in_every_format(benchmark, format_name):
+    dense = suitesparse.load_matrix("pdb1HYS", scale=MATRIX_SCALE)
+
+    def build():
+        return build_format(format_name, "A", dense)
+
+    fmt = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert fmt.shape == dense.shape

@@ -1,0 +1,50 @@
+"""Table 4 — compilation (equality saturation) metrics of the optimizer.
+
+For each kernel the two optimization stages are run through the e-graph
+engine and the Egg-style metrics are reported: time, iterations, e-nodes,
+e-classes, and memo entries.
+
+Expected shape (paper): two rows per kernel, the storage-aware stage explores
+a (much) larger space than the storage-independent one, and BATAX / MMM are
+the most expensive kernels to optimize.
+"""
+
+import pytest
+
+from _config import print_report
+from repro.core import Optimizer, Statistics
+from repro.kernels import KERNELS
+from repro.workloads.experiments import matrix_kernel_catalog, table4_rows, tensor_kernel_catalog
+from repro.workloads.reporting import format_table
+
+
+def test_table4_report(benchmark):
+    rows = benchmark.pedantic(lambda: table4_rows(iter_limit=6, node_limit=4000),
+                              rounds=1, iterations=1)
+    print_report(format_table(
+        rows,
+        columns=["kernel", "stage", "time_ms", "iterations", "nodes", "classes",
+                 "memos", "stop_reason", "cost"],
+        title="Table 4 — compilation metrics reported by the equality-saturation engine"))
+    assert len(rows) == 10  # five kernels x two stages
+    assert all(row["nodes"] > 0 and row["classes"] > 0 for row in rows)
+
+
+@pytest.mark.parametrize("kernel_name", ["MMM", "SUMMM", "BATAX", "TTM", "MTTKRP"])
+def test_optimization_time_per_kernel(benchmark, kernel_name):
+    """Wall-clock of the full two-stage optimization pipeline per kernel."""
+    if kernel_name in ("MMM", "SUMMM", "BATAX"):
+        catalog = matrix_kernel_catalog(kernel_name, "cant", scale=256)
+    else:
+        catalog = tensor_kernel_catalog(kernel_name, "NIPS", scale=64)
+    stats = Statistics.from_catalog(catalog)
+    kernel = KERNELS[kernel_name]
+
+    def optimize():
+        optimizer = Optimizer(stats, iter_limit=5, node_limit=2500)
+        return optimizer.optimize(kernel.program, catalog.mappings(), method="egraph")
+
+    result = benchmark.pedantic(optimize, rounds=1, iterations=1)
+    benchmark.extra_info["stage2_nodes"] = result.stage2.runner.nodes
+    benchmark.extra_info["stage2_classes"] = result.stage2.runner.classes
+    assert result.cost > 0

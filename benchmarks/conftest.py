@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark suite (path setup only; see _config.py)."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(__file__)
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)

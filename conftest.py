@@ -1,0 +1,13 @@
+"""Pytest configuration: make the in-tree ``src/`` layout importable.
+
+The canonical way to work on this repository is ``pip install -e .``; this
+fallback keeps ``pytest`` working in offline environments where the editable
+install cannot build (no ``wheel`` package available).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,72 @@
+"""Custom storage formats: triangular, band, and Z-order matrices.
+
+Sec. 4 of the paper argues that declarative storage mappings go beyond any
+fixed menu of formats.  This example stores three structured matrices in
+special-purpose layouts, shows their SDQLite mappings, and runs the same
+tensor program (a matrix-vector product followed by a total sum) over each —
+without changing a single line of the program.
+
+Run with::
+
+    python examples/custom_formats.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import storel
+from repro.storage import BandFormat, Catalog, DenseFormat, LowerTriangularFormat, ZOrderFormat
+
+
+def lower_triangular(n: int) -> np.ndarray:
+    return np.tril(np.arange(1.0, n * n + 1).reshape(n, n) / (n * n))
+
+
+def tridiagonal(n: int) -> np.ndarray:
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        matrix[i, i] = 2.0
+        if i + 1 < n:
+            matrix[i, i + 1] = -1.0
+            matrix[i + 1, i] = -1.0
+    return matrix
+
+
+def z_order(n: int) -> np.ndarray:
+    return np.arange(1.0, n * n + 1).reshape(n, n)
+
+
+PROGRAM = "sum(<(i, j), a> in A, <k, x> in X) if (j == k) then { i -> a * x }"
+
+
+def main() -> None:
+    n = 64
+    x = np.linspace(0.1, 1.0, n)
+    matrices = {
+        "lower-triangular": (LowerTriangularFormat, lower_triangular(n)),
+        "band (tridiagonal)": (BandFormat, tridiagonal(n)),
+        "Z-order curve": (ZOrderFormat, z_order(n)),
+    }
+    for label, (format_cls, dense) in matrices.items():
+        catalog = (
+            Catalog()
+            .add(format_cls.from_dense("A", dense))
+            .add(DenseFormat.from_dense("X", x))
+        )
+        print(f"=== {label} ===")
+        print("storage mapping:", catalog["A"].mapping_source())
+        physical = catalog["A"].physical()
+        stored_values = sum(len(v) for v in physical.values() if hasattr(v, "__len__"))
+        print(f"stored values: {stored_values} (dense would store {n * n})")
+        result = storel.run(PROGRAM, catalog, dense_shape=(n,))
+        expected = dense @ x
+        print("matches NumPy:", np.allclose(result, expected))
+        print()
+
+
+if __name__ == "__main__":
+    main()

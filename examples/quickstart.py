@@ -1,0 +1,66 @@
+"""Quickstart: optimize and run a tensor program over flexible storage.
+
+The scenario from the paper's introduction: a sparse matrix ``A`` stored in
+CSR, a dense vector ``X``, and the BATAX kernel
+``Q(j) = Σ_ik β · A(i,j) · A(i,k) · X(k)``.  STOREL composes the program with
+the storage mappings, rewrites it (factorization + fusion), picks the
+cheapest plan with its cost model, compiles it to Python, and runs it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import storel
+from repro.data.synthetic import random_dense_vector, random_sparse_matrix
+from repro.storage import Catalog, CSRFormat, DenseFormat
+
+
+def main() -> None:
+    size = 200
+    a = random_sparse_matrix(size, size, density=0.02, seed=1)
+    x = random_dense_vector(size, seed=2)
+
+    # 1. The data administrator registers how each tensor is stored.
+    catalog = (
+        Catalog()
+        .add(CSRFormat.from_dense("A", a))
+        .add(DenseFormat.from_dense("X", x))
+        .add_scalar("beta", 2.0)
+    )
+    print("Registered tensors:")
+    print(catalog.describe())
+    print()
+    print("Storage mapping for A (CSR), written in SDQLite:")
+    print(" ", catalog["A"].mapping_source())
+    print()
+
+    # 2. The data scientist writes the tensor program against logical names.
+    program = (
+        "sum(<i, Ai> in A) sum(<j, Aij> in Ai) sum(<k, Aik> in Ai) "
+        "{ j -> beta * Aij * Aik * X(k) }"
+    )
+
+    # 3. STOREL optimizes and executes it.
+    outcome = storel.run_detailed(program, catalog, dense_shape=(size,))
+    expected = 2.0 * (a.T @ (a @ x))
+    print("Result matches NumPy oracle:", np.allclose(outcome.result, expected))
+    print()
+    print("Candidate plan costs considered by the optimizer:")
+    for name, cost in sorted(outcome.optimization.candidate_costs.items(),
+                             key=lambda kv: kv[1]):
+        print(f"  {name:26s} {cost:12.1f}")
+    print()
+    print("Generated Python for the chosen plan:")
+    print(outcome.plan_source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""STOREL reproduction: cost-based optimization of tensor programs on flexible storage.
+
+This package is a from-scratch Python reproduction of the SIGMOD 2023 paper
+*Optimizing Tensor Programs on Flexible Storage* (Schleich, Shaikhha, Suciu).
+It provides:
+
+* :mod:`repro.sdqlite` — the SDQLite tensor calculus (parser, interpreter, De
+  Bruijn representation),
+* :mod:`repro.storage` — the physical data model and flexible storage formats
+  with their Tensor Storage Mappings,
+* :mod:`repro.egraph` — an equality-saturation engine (Egg reimplementation),
+* :mod:`repro.core` — the rewrite rules, cardinality/cost models and the
+  two-stage cost-based optimizer (STOREL itself),
+* :mod:`repro.execution` — physical plan interpretation and Python code
+  generation,
+* :mod:`repro.kernels`, :mod:`repro.baselines`, :mod:`repro.data`,
+  :mod:`repro.workloads` — the evaluation substrate (tensor programs,
+  competitor systems, datasets, experiment harness).
+"""
+
+__version__ = "0.1.0"

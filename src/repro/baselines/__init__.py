@@ -1,0 +1,19 @@
+"""The systems compared in the evaluation: STOREL plus the baselines."""
+
+from .base import (
+    NotSupportedError,
+    System,
+    dense_inputs,
+    output_shape,
+    reference_result,
+)
+from .numpy_backend import NumpySystem
+from .relational import RelationalSystem
+from .scipy_backend import ScipySystem
+from .storel_system import FixedPlanSystem, StorelSystem, TacoLikeSystem
+
+__all__ = [
+    "NotSupportedError", "System", "dense_inputs", "output_shape", "reference_result",
+    "NumpySystem", "RelationalSystem", "ScipySystem",
+    "FixedPlanSystem", "StorelSystem", "TacoLikeSystem",
+]

@@ -1,0 +1,88 @@
+"""Common interface of the systems compared in the evaluation (Sec. 6).
+
+Every system — STOREL itself plus the baselines — implements
+:class:`System`: given a kernel and a catalog of stored tensors it returns a
+no-argument callable that computes the kernel and returns a dense NumPy
+result (or a scalar).  The benchmark harness times that callable, excluding
+data loading and plan preparation, exactly like the paper measures only
+execution time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from ..kernels.programs import Kernel
+from ..storage.catalog import Catalog
+
+
+class NotSupportedError(Exception):
+    """Raised when a system cannot run a kernel (e.g. no sparse rank-3 support)."""
+
+
+RunCallable = Callable[[], "np.ndarray | float"]
+
+
+class System(ABC):
+    """A tensor-processing system under benchmark."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        """Return a callable that executes ``kernel`` over ``catalog``'s tensors.
+
+        Preparation (plan optimization, compilation, format conversion) happens
+        here and is *not* part of the timed region, mirroring the paper's
+        methodology.  Raises :class:`NotSupportedError` when the system cannot
+        express the kernel.
+        """
+
+    def run_once(self, kernel: Kernel, catalog: Catalog):
+        """Convenience: prepare and execute immediately."""
+        return self.prepare(kernel, catalog)()
+
+
+def output_shape(kernel: Kernel, catalog: Catalog) -> tuple[int, ...]:
+    """The dense shape of a kernel's output, derived from the input tensors."""
+    shapes = {name: catalog[name].shape for name in kernel.tensor_names if name in catalog.tensors}
+    name = kernel.name.upper()
+    if name == "MMM":
+        return (shapes["A"][0], shapes["B"][1])
+    if name == "SUMMM":
+        return ()
+    if name.startswith("BATAX"):
+        return (shapes["A"][1],)
+    if name == "TTM":
+        return (shapes["A"][0], shapes["A"][1], shapes["B"][0])
+    if name == "MTTKRP":
+        return (shapes["A"][0], shapes["B"][1])
+    raise KeyError(f"unknown kernel {kernel.name!r}")
+
+
+def dense_inputs(kernel: Kernel, catalog: Catalog) -> dict[str, np.ndarray]:
+    """Densified inputs for oracle computations (NumPy baseline, correctness checks)."""
+    return {name: catalog[name].to_dense() for name in kernel.tensor_names
+            if name in catalog.tensors}
+
+
+def reference_result(kernel: Kernel, catalog: Catalog) -> "np.ndarray | float":
+    """A NumPy oracle for every kernel (used by tests to validate all systems)."""
+    dense = dense_inputs(kernel, catalog)
+    beta = catalog.scalars.get("beta", 1.0)
+    name = kernel.name.upper()
+    if name == "MMM":
+        return dense["A"] @ dense["B"]
+    if name == "SUMMM":
+        return float((dense["A"] @ dense["B"]).sum())
+    if name.startswith("BATAX"):
+        x = dense["X"]
+        return beta * (dense["A"].T @ (dense["A"] @ x))
+    if name == "TTM":
+        return np.einsum("ijl,kl->ijk", dense["A"], dense["B"])
+    if name == "MTTKRP":
+        return np.einsum("ikl,kj,lj->ij", dense["A"], dense["B"], dense["C"])
+    raise KeyError(f"unknown kernel {kernel.name!r}")

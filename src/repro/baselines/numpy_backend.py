@@ -1,0 +1,78 @@
+"""The NumPy baseline: dense-only execution with optimized BLAS primitives.
+
+NumPy requires every input to be dense; the paper reports out-of-memory for
+most real datasets and excellent performance at high densities.  The same
+trade-off appears here: densifying the inputs may exceed the configurable
+memory budget, in which case :class:`~repro.baselines.base.NotSupportedError`
+is raised (the harness reports it as OOM, as the paper's figures do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels.programs import Kernel
+from ..storage.catalog import Catalog
+from .base import NotSupportedError, RunCallable, System, dense_inputs
+
+
+@dataclass
+class NumpySystem(System):
+    """Dense NumPy/BLAS execution of the kernels.
+
+    ``variant="optimized"`` uses the natural, associativity-aware formulation
+    (e.g. ``β · Aᵀ (A x)`` for BATAX); ``variant="naive"`` materializes the
+    intermediate products exactly as written in the kernel (``(βAᵀA) x``),
+    matching the paper's "BATAX (Naive)" experiment.
+    """
+
+    variant: str = "optimized"
+    memory_budget_mb: float = 512.0
+    name: str = "NumPy"
+
+    def __post_init__(self):
+        if self.variant not in ("optimized", "naive"):
+            raise ValueError(f"unknown NumPy variant {self.variant!r}")
+        if self.variant == "naive":
+            self.name = "NumPy-naive"
+
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        self._check_memory(kernel, catalog)
+        dense = dense_inputs(kernel, catalog)
+        beta = catalog.scalars.get("beta", 1.0)
+        name = kernel.name.upper()
+        if name == "MMM":
+            a, b = dense["A"], dense["B"]
+            return lambda: a @ b
+        if name == "SUMMM":
+            a, b = dense["A"], dense["B"]
+            if self.variant == "naive":
+                return lambda: float((a @ b).sum())
+            # Optimized: Σ_ijk A(i,k) B(k,j) = (Σ_i A(i,:)) · (Σ_j B(:,j))
+            return lambda: float(a.sum(axis=0) @ b.sum(axis=1))
+        if name.startswith("BATAX"):
+            a, x = dense["A"], dense["X"]
+            if self.variant == "naive":
+                return lambda: (beta * a.T @ a) @ x
+            return lambda: beta * (a.T @ (a @ x))
+        if name == "TTM":
+            a, b = dense["A"], dense["B"]
+            return lambda: np.einsum("ijl,kl->ijk", a, b)
+        if name == "MTTKRP":
+            a, b, c = dense["A"], dense["B"], dense["C"]
+            return lambda: np.einsum("ikl,kj,lj->ij", a, b, c)
+        raise NotSupportedError(f"NumPy baseline does not implement {kernel.name}")
+
+    def _check_memory(self, kernel: Kernel, catalog: Catalog) -> None:
+        """Refuse to densify inputs beyond the memory budget (reported as OOM)."""
+        total_bytes = 0.0
+        for name in kernel.tensor_names:
+            if name in catalog.tensors:
+                total_bytes += 8.0 * float(np.prod(catalog[name].shape))
+        if total_bytes > self.memory_budget_mb * 1024 * 1024:
+            raise NotSupportedError(
+                f"dense inputs need {total_bytes / 1e6:.0f} MB "
+                f"(budget {self.memory_budget_mb:.0f} MB): out of memory"
+            )

@@ -1,0 +1,214 @@
+"""The relational baseline: a small in-memory engine standing in for DuckDB.
+
+The paper encodes every tensor as a relation (one row per non-zero, columns =
+coordinates plus value — essentially COO) and runs the kernels as
+aggregate-join SQL queries in DuckDB.  DuckDB's plans, as discussed in
+Sec. 6.1, are binary hash-join trees with the aggregation applied at the end:
+the summation is not pushed below the joins and the computation is never
+factorized, which is exactly what makes ΣMMM / BATAX / MTTKRP expensive while
+TTM (a single aggregate-join) remains fast.
+
+This module reproduces that behaviour with an explicit little query engine:
+
+* :class:`Relation` — a named list of equal-length columns,
+* :func:`hash_join` — a classic build/probe equi-join,
+* :func:`aggregate` — grouping + summation,
+* :class:`RelationalSystem` — fixed left-deep binary join plans per kernel,
+  aggregation last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..kernels.programs import Kernel
+from ..storage.catalog import Catalog
+from ..storage.convert import coo_arrays
+from .base import NotSupportedError, RunCallable, System, output_shape
+
+
+@dataclass
+class Relation:
+    """A relation stored column-wise; all columns have the same length."""
+
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def from_tensor(cls, fmt, coordinate_names: Sequence[str], value_name: str) -> "Relation":
+        coords, values = coo_arrays(fmt)
+        columns = {name: coords[:, axis].astype(np.int64)
+                   for axis, name in enumerate(coordinate_names)}
+        columns[value_name] = values.astype(np.float64)
+        return cls(columns)
+
+    @classmethod
+    def from_vector(cls, fmt, coordinate_name: str, value_name: str) -> "Relation":
+        dense = fmt.to_dense()
+        nz = np.nonzero(dense)[0]
+        return cls({coordinate_name: nz.astype(np.int64),
+                    value_name: dense[nz].astype(np.float64)})
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def schema(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+
+def hash_join(left: Relation, right: Relation, keys: Sequence[str]) -> Relation:
+    """Equi-join two relations on the named key columns (build on the right)."""
+    keys = list(keys)
+    build: dict[tuple, list[int]] = {}
+    right_key_columns = [right.column(key) for key in keys]
+    for row in range(len(right)):
+        build.setdefault(tuple(int(col[row]) for col in right_key_columns), []).append(row)
+
+    left_key_columns = [left.column(key) for key in keys]
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for row in range(len(left)):
+        probe = tuple(int(col[row]) for col in left_key_columns)
+        for match in build.get(probe, ()):
+            left_rows.append(row)
+            right_rows.append(match)
+
+    columns: dict[str, np.ndarray] = {}
+    left_index = np.array(left_rows, dtype=np.int64)
+    right_index = np.array(right_rows, dtype=np.int64)
+    for name, column in left.columns.items():
+        columns[name] = column[left_index] if len(left_index) else column[:0]
+    for name, column in right.columns.items():
+        if name in keys:
+            continue
+        columns[name] = column[right_index] if len(right_index) else column[:0]
+    return Relation(columns)
+
+
+def multiply_values(relation: Relation, value_columns: Sequence[str], out: str) -> Relation:
+    """Add a column ``out`` holding the product of the given value columns."""
+    product = np.ones(len(relation), dtype=np.float64)
+    for name in value_columns:
+        product = product * relation.column(name)
+    columns = dict(relation.columns)
+    columns[out] = product
+    return Relation(columns)
+
+
+def aggregate(relation: Relation, group_by: Sequence[str], value_column: str) -> Relation:
+    """``SELECT group_by, SUM(value) ... GROUP BY group_by`` (hash aggregation)."""
+    group_by = list(group_by)
+    sums: dict[tuple, float] = {}
+    group_columns = [relation.column(name) for name in group_by]
+    values = relation.column(value_column)
+    for row in range(len(relation)):
+        key = tuple(int(col[row]) for col in group_columns)
+        sums[key] = sums.get(key, 0.0) + float(values[row])
+    keys = list(sums.keys())
+    columns = {name: np.array([key[axis] for key in keys], dtype=np.int64)
+               for axis, name in enumerate(group_by)}
+    columns[value_column] = np.array([sums[key] for key in keys], dtype=np.float64)
+    return Relation(columns)
+
+
+def scalar_aggregate(relation: Relation, value_column: str) -> float:
+    """``SELECT SUM(value)`` without grouping."""
+    if len(relation) == 0:
+        return 0.0
+    return float(relation.column(value_column).sum())
+
+
+@dataclass
+class RelationalSystem(System):
+    """Binary-join plans with late aggregation (DuckDB stand-in)."""
+
+    name: str = "Relational"
+
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        name = kernel.name.upper()
+        shape = output_shape(kernel, catalog)
+        beta = catalog.scalars.get("beta", 1.0)
+
+        if name == "MMM":
+            a = Relation.from_tensor(catalog["A"], ("i", "k"), "va")
+            b = Relation.from_tensor(catalog["B"], ("k", "j"), "vb")
+
+            def run():
+                joined = multiply_values(hash_join(a, b, ["k"]), ["va", "vb"], "v")
+                result = aggregate(joined, ["i", "j"], "v")
+                return _to_dense(result, ["i", "j"], "v", shape)
+
+            return run
+
+        if name == "SUMMM":
+            a = Relation.from_tensor(catalog["A"], ("i", "k"), "va")
+            b = Relation.from_tensor(catalog["B"], ("k", "j"), "vb")
+
+            def run():
+                # The aggregation is NOT pushed below the join: the full join
+                # result is materialized first (the paper's explanation for
+                # DuckDB's poor ΣMMM performance).
+                joined = multiply_values(hash_join(a, b, ["k"]), ["va", "vb"], "v")
+                return scalar_aggregate(joined, "v")
+
+            return run
+
+        if name.startswith("BATAX"):
+            a1 = Relation.from_tensor(catalog["A"], ("i", "j"), "va1")
+            a2 = Relation.from_tensor(catalog["A"], ("i", "k"), "va2")
+            x = Relation.from_vector(catalog["X"], "k", "vx")
+
+            def run():
+                self_join = hash_join(a1, a2, ["i"])
+                with_x = hash_join(self_join, x, ["k"])
+                product = multiply_values(with_x, ["va1", "va2", "vx"], "v")
+                result = aggregate(product, ["j"], "v")
+                dense = _to_dense(result, ["j"], "v", shape)
+                return beta * dense
+
+            return run
+
+        if name == "TTM":
+            a = Relation.from_tensor(catalog["A"], ("i", "j", "l"), "va")
+            b = Relation.from_tensor(catalog["B"], ("k", "l"), "vb")
+
+            def run():
+                joined = multiply_values(hash_join(a, b, ["l"]), ["va", "vb"], "v")
+                result = aggregate(joined, ["i", "j", "k"], "v")
+                return _to_dense(result, ["i", "j", "k"], "v", shape)
+
+            return run
+
+        if name == "MTTKRP":
+            a = Relation.from_tensor(catalog["A"], ("i", "k", "l"), "va")
+            b = Relation.from_tensor(catalog["B"], ("k", "j"), "vb")
+            c = Relation.from_tensor(catalog["C"], ("l", "j"), "vc")
+
+            def run():
+                ab = hash_join(a, b, ["k"])
+                abc = hash_join(ab, c, ["l", "j"])
+                product = multiply_values(abc, ["va", "vb", "vc"], "v")
+                result = aggregate(product, ["i", "j"], "v")
+                return _to_dense(result, ["i", "j"], "v", shape)
+
+            return run
+
+        raise NotSupportedError(f"relational baseline does not implement {kernel.name}")
+
+
+def _to_dense(relation: Relation, key_columns: Sequence[str], value_column: str,
+              shape: tuple[int, ...]) -> np.ndarray:
+    out = np.zeros(shape, dtype=np.float64)
+    key_arrays = [relation.column(name) for name in key_columns]
+    values = relation.column(value_column)
+    for row in range(len(relation)):
+        out[tuple(int(col[row]) for col in key_arrays)] = values[row]
+    return out

@@ -1,0 +1,64 @@
+"""The SciPy baseline: hard-coded sparse matrix primitives.
+
+SciPy provides highly optimized sparse kernels (CSR sparse-sparse matrix
+multiplication in particular), but compound expressions must be composed out
+of those primitives with materialized intermediates, and sparse tensors of
+rank three are not supported — both limitations the paper leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..kernels.programs import Kernel
+from ..storage.catalog import Catalog
+from ..storage.convert import to_scipy_csr
+from .base import NotSupportedError, RunCallable, System
+
+
+@dataclass
+class ScipySystem(System):
+    """SciPy CSR execution of the matrix / vector kernels.
+
+    ``variant="optimized"`` composes primitives in the best order
+    (``β Aᵀ (A x)``); ``variant="naive"`` materializes the intermediate
+    sparse-sparse product first (``(β Aᵀ A) x``), the paper's naive BATAX.
+    Rank-3 kernels (TTM, MTTKRP) are unsupported, as in the paper.
+    """
+
+    variant: str = "optimized"
+    name: str = "SciPy"
+
+    def __post_init__(self):
+        if self.variant not in ("optimized", "naive"):
+            raise ValueError(f"unknown SciPy variant {self.variant!r}")
+        if self.variant == "naive":
+            self.name = "SciPy-naive"
+
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        name = kernel.name.upper()
+        if name in ("TTM", "MTTKRP"):
+            raise NotSupportedError("SciPy does not support sparse tensors of rank 3")
+        matrices = {tensor: to_scipy_csr(catalog[tensor])
+                    for tensor in kernel.tensor_names
+                    if tensor in catalog.tensors and len(catalog[tensor].shape) == 2}
+        beta = catalog.scalars.get("beta", 1.0)
+        if name == "MMM":
+            a, b = matrices["A"], matrices["B"]
+            return lambda: (a @ b).toarray()
+        if name == "SUMMM":
+            a, b = matrices["A"], matrices["B"]
+            if self.variant == "naive":
+                return lambda: float((a @ b).sum())
+            return lambda: float(
+                np.asarray(a.sum(axis=0)).ravel() @ np.asarray(b.sum(axis=1)).ravel())
+        if name.startswith("BATAX"):
+            a = matrices["A"]
+            x = catalog["X"].to_dense()
+            if self.variant == "naive":
+                return lambda: np.asarray((beta * (a.T @ a)) @ x).ravel()
+            return lambda: beta * np.asarray(a.T @ (a @ x)).ravel()
+        raise NotSupportedError(f"SciPy baseline does not implement {kernel.name}")

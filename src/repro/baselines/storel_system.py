@@ -1,0 +1,116 @@
+"""STOREL as a benchmarkable system: optimize, compile, execute.
+
+This wraps the full pipeline (composition, cost-based optimization, code
+generation) behind the common :class:`~repro.baselines.base.System`
+interface used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.optimizer import Optimizer
+from ..core.statistics import Statistics
+from ..core import strategies
+from ..core.compose import compose
+from ..execution.engine import ExecutionEngine, result_to_dense
+from ..kernels.programs import Kernel
+from ..storage.catalog import Catalog
+from .base import RunCallable, System, output_shape
+
+
+@dataclass
+class StorelSystem(System):
+    """The system described in the paper: cost-based optimization over flexible storage.
+
+    Parameters
+    ----------
+    method:
+        ``"egraph"`` runs the full two-stage equality-saturation pipeline;
+        ``"greedy"`` picks the cheapest strategy-generated candidate (used by
+        the harness when only plan quality matters — the produced plans are
+        the same for the kernels of the paper, but preparation is much
+        faster, and the paper excludes optimization time from Fig. 7–9
+        anyway).
+    backend:
+        ``"compile"`` (generated Python) or ``"interpret"``.
+    """
+
+    method: str = "greedy"
+    backend: str = "compile"
+    name: str = "STOREL"
+
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        stats = Statistics.from_catalog(catalog)
+        optimizer = Optimizer(stats)
+        result = optimizer.optimize(kernel.program, catalog.mappings(), method=self.method)
+        engine = ExecutionEngine.for_catalog(catalog, backend=self.backend)
+        prepared = engine.prepare(result.plan)
+        shape = output_shape(kernel, catalog)
+
+        def run():
+            return result_to_dense(prepared.run(), shape)
+
+        run.optimization = result  # type: ignore[attr-defined] - exposed for Table 4
+        run.plan_source = prepared.source  # type: ignore[attr-defined]
+        return run
+
+
+@dataclass
+class FixedPlanSystem(System):
+    """Runs one specific plan variant (used by the ablation study of Fig. 9).
+
+    ``variant`` is one of the candidate-plan names produced by
+    :func:`repro.core.strategies.candidate_plans`: ``naive``, ``fused``,
+    ``factorized``, ``fused+factorized`` (or ``fused+factorized+merge``).
+    """
+
+    variant: str = "fused+factorized"
+    backend: str = "compile"
+
+    def __post_init__(self):
+        self.name = f"STOREL[{self.variant}]"
+
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        naive = compose(kernel.program, catalog.mappings())
+        candidates = strategies.candidate_plans(naive)
+        if self.variant not in candidates:
+            raise KeyError(f"unknown plan variant {self.variant!r}")
+        plan = candidates[self.variant]
+        engine = ExecutionEngine.for_catalog(catalog, backend=self.backend)
+        prepared = engine.prepare(plan)
+        shape = output_shape(kernel, catalog)
+
+        def run():
+            return result_to_dense(prepared.run(), shape)
+
+        run.plan = plan  # type: ignore[attr-defined]
+        run.plan_source = prepared.source  # type: ignore[attr-defined]
+        return run
+
+
+@dataclass
+class TacoLikeSystem(System):
+    """The Taco baseline: format-aware loop fusion, but no cost-based rewrites.
+
+    Taco compiles the tensor expression *as written* into loops merged with
+    the storage formats; it does not factorize or re-order the computation.
+    This is reproduced by running the composed plan through the fusion
+    rewrites only (see DESIGN.md, "Substitutions").
+    """
+
+    backend: str = "compile"
+    name: str = "Taco-like"
+
+    def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
+        naive = compose(kernel.program, catalog.mappings())
+        plan = strategies.greedy_optimize(naive, with_fusion=True, with_factorization=False)
+        engine = ExecutionEngine.for_catalog(catalog, backend=self.backend)
+        prepared = engine.prepare(plan)
+        shape = output_shape(kernel, catalog)
+
+        def run():
+            return result_to_dense(prepared.run(), shape)
+
+        run.plan = plan  # type: ignore[attr-defined]
+        return run

@@ -1,0 +1,194 @@
+"""The STOREL cost-based optimizer (Sec. 5 of the paper).
+
+Pipeline (Fig. 2):
+
+1. the tensor program (TP) and the tensor storage mappings (TSMs) are parsed
+   and converted to De Bruijn form;
+2. **stage 1** — the TP alone is rewritten with the storage-independent rules
+   under equality saturation, and the cheapest equivalent program is
+   extracted (Sec. 6.4 explains why the pipeline is split in two stages: a
+   single saturation over the composed plan is too large a search space);
+3. the result is composed with the TSMs into the naive logical plan
+   (Sec. 5.1);
+4. **stage 2** — the composed plan is rewritten with the full rule set
+   (fusion, physical annotations); the e-graph is additionally seeded with
+   the candidate plans produced by the deterministic strategies, so the
+   well-known plan shapes are always represented regardless of whether
+   saturation completes within its limits;
+5. the cheapest physical plan is extracted with the cost model of Fig. 6 and
+   returned together with the Egg-style metrics of both stages (Table 4).
+
+A ``method="greedy"`` mode skips equality saturation and picks the cheapest
+of the strategy-generated candidates directly; it is used by the benchmark
+harness when only the *plan quality* (not the optimization process) is being
+measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..egraph.egraph import EGraph
+from ..egraph.runner import Runner, RunnerReport
+from ..sdqlite.ast import Expr
+from ..sdqlite.debruijn import to_debruijn_safe
+from ..sdqlite.errors import OptimizationError
+from . import rules as rule_sets
+from . import strategies
+from .compose import compose
+from .cost import CostModel
+from .statistics import Statistics
+
+
+@dataclass
+class StageReport:
+    """Egg metrics for one optimization stage (one row of Table 4)."""
+
+    name: str
+    runner: RunnerReport
+    extracted_cost: float
+
+    def as_row(self) -> dict:
+        row = {"stage": self.name, **self.runner.as_row(), "cost": self.extracted_cost}
+        return row
+
+
+@dataclass
+class OptimizationResult:
+    """The chosen physical plan plus everything needed to report on it."""
+
+    plan: Expr
+    cost: float
+    naive_plan: Expr
+    stage1: StageReport | None = None
+    stage2: StageReport | None = None
+    candidate_costs: dict[str, float] = field(default_factory=dict)
+    chosen_candidate: str | None = None
+    optimization_time_ms: float = 0.0
+
+    def table4_rows(self) -> list[dict]:
+        rows = []
+        for stage in (self.stage1, self.stage2):
+            if stage is not None:
+                rows.append(stage.as_row())
+        return rows
+
+
+class Optimizer:
+    """Cost-based optimizer over flexible storage."""
+
+    def __init__(self, stats: Statistics, *, iter_limit: int = 8,
+                 node_limit: int = 5_000, time_limit: float = 5.0,
+                 match_limit_per_rule: int = 400, seed_candidates: bool = True):
+        self.stats = stats
+        self.iter_limit = iter_limit
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.match_limit_per_rule = match_limit_per_rule
+        self.seed_candidates = seed_candidates
+
+    # ------------------------------------------------------------------
+
+    def optimize(self, program: Expr, mappings: Mapping[str, Expr], *,
+                 method: str = "egraph") -> OptimizationResult:
+        """Optimize ``program`` for tensors stored according to ``mappings``."""
+        start = time.perf_counter()
+        program = to_debruijn_safe(program)
+        mappings = {name: to_debruijn_safe(mapping) for name, mapping in mappings.items()}
+        naive = compose(program, mappings)
+
+        if method == "greedy":
+            result = self._optimize_greedy(program, mappings, naive)
+        elif method == "egraph":
+            result = self._optimize_egraph(program, mappings, naive)
+        else:
+            raise OptimizationError(f"unknown optimization method {method!r}")
+        result.optimization_time_ms = (time.perf_counter() - start) * 1_000.0
+        return result
+
+    # ------------------------------------------------------------------
+    # greedy mode: strategy candidates + cost model
+    # ------------------------------------------------------------------
+
+    def _optimize_greedy(self, program: Expr, mappings: Mapping[str, Expr],
+                         naive: Expr) -> OptimizationResult:
+        model = CostModel(self.stats)
+        candidates = strategies.candidate_plans(naive)
+        costs = {name: model.plan_cost(plan) for name, plan in candidates.items()}
+        chosen = min(costs, key=costs.get)
+        return OptimizationResult(
+            plan=candidates[chosen],
+            cost=costs[chosen],
+            naive_plan=naive,
+            candidate_costs=costs,
+            chosen_candidate=chosen,
+        )
+
+    # ------------------------------------------------------------------
+    # e-graph mode: two-stage equality saturation + cost-based extraction
+    # ------------------------------------------------------------------
+
+    def _optimize_egraph(self, program: Expr, mappings: Mapping[str, Expr],
+                         naive: Expr) -> OptimizationResult:
+        # Stage 1: storage-independent optimization of the tensor program.
+        stage1_graph = EGraph()
+        root1 = stage1_graph.add_expr(program)
+        runner1 = Runner(stage1_graph, rule_sets.logical_rules(),
+                         iter_limit=self.iter_limit, node_limit=self.node_limit,
+                         time_limit=self.time_limit,
+                         match_limit_per_rule=self.match_limit_per_rule)
+        report1 = runner1.run()
+        logical_model = CostModel(self.stats, require_physical=False)
+        stage1_plan, stage1_cost = logical_model.extract(stage1_graph, root1)
+        stage1 = StageReport("storage-independent", report1, stage1_cost)
+
+        # Compose the optimized program with the storage mappings.
+        composed = compose(stage1_plan, mappings)
+
+        # Stage 2: storage-aware optimization of the composed plan.
+        stage2_graph = EGraph()
+        root2 = stage2_graph.add_expr(composed)
+        candidate_costs: dict[str, float] = {}
+        if self.seed_candidates:
+            greedy_model = CostModel(self.stats)
+            for name, plan in strategies.candidate_plans(composed).items():
+                candidate_costs[name] = greedy_model.plan_cost(plan)
+                seeded = stage2_graph.add_expr(plan)
+                stage2_graph.union(root2, seeded)
+            stage2_graph.rebuild()
+        runner2 = Runner(stage2_graph, rule_sets.all_rules(),
+                         iter_limit=self.iter_limit, node_limit=self.node_limit,
+                         time_limit=self.time_limit,
+                         match_limit_per_rule=self.match_limit_per_rule)
+        report2 = runner2.run()
+
+        physical_model = CostModel(self.stats, require_physical=True)
+        try:
+            plan, cost = physical_model.extract(stage2_graph, root2)
+        except OptimizationError:
+            # Saturation stopped before the physical-annotation rules reached
+            # every dictionary constructor; fall back to the logical cost.
+            relaxed_model = CostModel(self.stats, require_physical=False)
+            plan, cost = relaxed_model.extract(stage2_graph, root2)
+        stage2 = StageReport("storage-aware", report2, cost)
+
+        chosen = None
+        if candidate_costs:
+            chosen = min(candidate_costs, key=candidate_costs.get)
+        return OptimizationResult(
+            plan=plan,
+            cost=cost,
+            naive_plan=composed,
+            stage1=stage1,
+            stage2=stage2,
+            candidate_costs=candidate_costs,
+            chosen_candidate=chosen,
+        )
+
+
+def optimize(program: Expr, mappings: Mapping[str, Expr], stats: Statistics,
+             *, method: str = "egraph", **limits) -> OptimizationResult:
+    """Convenience wrapper: build an :class:`Optimizer` and run it once."""
+    return Optimizer(stats, **limits).optimize(program, mappings, method=method)

@@ -1,0 +1,158 @@
+"""The rewrite-rule base of the STOREL optimizer (Fig. 3 of the paper).
+
+The paper uses 44 SDQLite rewrite rules, grouped into associativity /
+commutativity, algebraic simplification, distributivity (factorization), loop
+fusion, dictionary rules, and the two physical-annotation rules of Sec. 5.6.
+This module defines the same groups:
+
+* purely syntactic rules are expressed as pattern ⇒ pattern rewrites,
+* binder-crossing rules (D2–D4, F1–F4, let handling) are *dynamic* rules whose
+  right-hand side is computed by the corresponding term transformation in
+  :mod:`repro.core.strategies` (see DESIGN.md for why).
+
+Rule sets:
+
+* :func:`logical_rules` — the storage-independent rules used by stage 1 of the
+  optimization pipeline (Sec. 6.4),
+* :func:`physical_rules` — fusion and physical-annotation rules added in
+  stage 2, once the storage mappings have been composed in,
+* :func:`all_rules` — everything.
+"""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, bidirectional, var_independent_of
+from . import strategies
+
+
+def _dynamic(name: str, pattern: str, transform, *conditions) -> Rewrite:
+    """A dynamic rule that applies ``transform`` to the matched node's term."""
+
+    def applier(egraph, enode, term, subst):
+        return transform(term)
+
+    return Rewrite.make_dynamic(name, pattern, applier, *conditions)
+
+
+# ---------------------------------------------------------------------------
+# Rule groups
+# ---------------------------------------------------------------------------
+
+
+def associativity_commutativity_rules() -> list[Rewrite]:
+    """Rules A1–A4, C1, C2 (plus multiplication commutativity)."""
+    rules: list[Rewrite] = []
+    rules += bidirectional("A1-mul-assoc", "?a * (?b * ?c)", "(?a * ?b) * ?c")
+    rules.append(Rewrite.syntactic("mul-comm", "?a * ?b", "?b * ?a"))
+    rules += bidirectional("A2-dict-factor-right", "{ ?k -> ?a * ?b }", "{ ?k -> ?a } * ?b")
+    rules += bidirectional("A3-dict-factor-left", "{ ?k -> ?a * ?b }", "?a * { ?k -> ?b }")
+    rules += bidirectional("A4-if-factor", "if (?c) then (?a * ?b)", "?a * (if (?c) then ?b)")
+    rules.append(Rewrite.syntactic("C1-add-comm", "?a + ?b", "?b + ?a"))
+    rules.append(Rewrite.syntactic("C2-eq-comm", "?a == ?b", "?b == ?a"))
+    rules.append(Rewrite.syntactic("add-assoc", "?a + (?b + ?c)", "(?a + ?b) + ?c"))
+    return rules
+
+
+def simplification_rules() -> list[Rewrite]:
+    """Rules L1–L6 plus conditional simplifications (unidirectional)."""
+    return [
+        Rewrite.syntactic("L1-add-zero", "?e + 0", "?e"),
+        Rewrite.syntactic("L1b-zero-add", "0 + ?e", "?e"),
+        Rewrite.syntactic("L2-mul-zero", "?e * 0", "0"),
+        Rewrite.syntactic("L2b-zero-mul", "0 * ?e", "0"),
+        Rewrite.syntactic("L3-mul-one", "?e * 1", "?e"),
+        Rewrite.syntactic("L3b-one-mul", "1 * ?e", "?e"),
+        Rewrite.syntactic("L4-neg-zero", "-(0)", "0"),
+        Rewrite.syntactic("L5-sub-zero", "?e - 0", "?e"),
+        Rewrite.syntactic("L6-sub-self", "?e - ?e", "0"),
+        Rewrite.syntactic("if-true", "if (true) then ?e", "?e"),
+        Rewrite.syntactic("if-false", "if (false) then ?e", "0"),
+        Rewrite.syntactic("eq-refl", "if (?a == ?a) then ?e", "?e"),
+    ]
+
+
+def distributivity_rules() -> list[Rewrite]:
+    """Rules D1–D4: factorization of products over sums and dictionaries."""
+    rules: list[Rewrite] = []
+    rules += bidirectional("D1-distribute", "?a * ?b + ?a * ?c", "?a * (?b + ?c)")
+    rules.append(_dynamic(
+        "D2-hoist-factor", "sum(<k, v> in ?e1) ?a * ?b", strategies.hoist_factor))
+    rules.append(_dynamic(
+        "D3-hoist-factor-sym", "sum(<k, v> in ?e1) ?b * ?a", strategies.hoist_factor))
+    rules.append(_dynamic(
+        "D4-hoist-dict", "sum(<k, v> in ?e1) { ?j -> ?e }", strategies.hoist_dict,
+        var_independent_of("?j", 0, 1)))
+    rules.append(_dynamic(
+        "D5-hoist-if", "sum(<k, v> in ?e1) if (?c) then ?e", strategies.hoist_if,
+        var_independent_of("?c", 0, 1)))
+    rules.append(_dynamic(
+        "A2-lift-scalar-sum", "{ ?k -> ?a * ?b }", strategies.factor_out_of_dict))
+    return rules
+
+
+def fusion_rules() -> list[Rewrite]:
+    """Rules F1–F4: loop fusion, iteration-to-lookup, and merge introduction."""
+    return [
+        _dynamic("F1-sum-to-lookup", "sum(<k, v> in ?e1) if (?a == ?b) then ?e",
+                 strategies.sum_to_lookup),
+        _dynamic("F2F3-fuse-sum-of-sum", "sum(<k1, v1> in (sum(<k2, v2> in ?e1) ?d)) ?e",
+                 strategies.fuse_sum_of_sum),
+        _dynamic("F4-merge-intro", "sum(<k1, v1> in ?e1) sum(<k2, v2> in ?e2) ?e",
+                 strategies.introduce_merge, var_independent_of("?e2", 0, 1)),
+        _dynamic("let-hoist-from-source", "sum(<k, v> in ?s) ?e",
+                 strategies.hoist_let_from_source),
+        _dynamic("let-inline", "let x = ?v in ?b", strategies.inline_let),
+    ]
+
+
+def dictionary_rules() -> list[Rewrite]:
+    """Rules T1–T5: interaction of sums, lookups, ranges and dictionaries."""
+    rules: list[Rewrite] = [
+        Rewrite.syntactic("T1-sum-identity", "sum(<k, v> in ?e) { %1 -> %0 }", "?e"),
+        Rewrite.syntactic("T2-lookup-add", "?a(?k) + ?b(?k)", "(?a + ?b)(?k)"),
+        Rewrite.syntactic("T2-rev", "(?a + ?b)(?k)", "?a(?k) + ?b(?k)"),
+        Rewrite.syntactic("T3-dict-add", "{ ?k -> ?a } + { ?k -> ?b }", "{ ?k -> ?a + ?b }"),
+        Rewrite.syntactic("T3-rev", "{ ?k -> ?a + ?b }", "{ ?k -> ?a } + { ?k -> ?b }"),
+        Rewrite.syntactic("T4-range-lookup", "(?lo:?hi)(?k)",
+                          "if (?lo <= ?k && ?k < ?hi) then ?k"),
+        Rewrite.syntactic("T5-dict-lookup", "{ ?k -> ?v }(?k)", "?v"),
+        Rewrite.syntactic("if-nest", "if (?a) then if (?b) then ?e",
+                          "if (?a && ?b) then ?e"),
+    ]
+    return rules
+
+
+def physical_annotation_rules() -> list[Rewrite]:
+    """The two rules of Sec. 5.6 choosing a physical representation for dictionaries."""
+    return [
+        Rewrite.syntactic("phys-dense", "{ ?k -> ?v }", "{ @dense ?k -> ?v }"),
+        Rewrite.syntactic("phys-hash", "{ ?k -> ?v }", "{ @hash ?k -> ?v }"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Rule sets used by the two optimization stages
+# ---------------------------------------------------------------------------
+
+
+def logical_rules() -> list[Rewrite]:
+    """Storage-independent rules (stage 1 of the pipeline, Sec. 6.4)."""
+    return (associativity_commutativity_rules()
+            + simplification_rules()
+            + distributivity_rules()
+            + dictionary_rules())
+
+
+def physical_rules() -> list[Rewrite]:
+    """Rules that interact with the storage mappings (stage 2)."""
+    return fusion_rules() + physical_annotation_rules()
+
+
+def all_rules() -> list[Rewrite]:
+    """The full rule base (the paper's 44 rules)."""
+    return logical_rules() + physical_rules()
+
+
+def rule_names() -> list[str]:
+    """Names of every rule in the rule base (used by tests and docs)."""
+    return [rule.name for rule in all_rules()]

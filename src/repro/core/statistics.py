@@ -1,0 +1,104 @@
+"""Data statistics consumed by the cost-based optimizer.
+
+The paper (Sec. 5.5) assumes the data administrator provides, for every input
+tensor, a nested cardinality profile (how many non-empty entries per level)
+plus selectivities; STOREL otherwise falls back to constants.  Here the
+statistics are usually derived automatically from the registered storage
+formats (:class:`repro.storage.Catalog`), but they can also be constructed by
+hand, exactly like the paper's manually-provided statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .cardinality import Card, card_from_profile
+
+#: Default selectivity for predicates whose selectivity is unknown (paper: 0.1).
+DEFAULT_SELECTIVITY = 0.1
+
+#: Default size assumed for dimensions whose extent cannot be derived.
+DEFAULT_DIMENSION = 1_000.0
+
+#: Default average segment length for segmented arrays without statistics.
+DEFAULT_SEGMENT = 16.0
+
+
+@dataclass
+class Statistics:
+    """Everything the cardinality and cost estimators need to know about the data.
+
+    Attributes
+    ----------
+    profiles:
+        Nested cardinality profile per *logical tensor* symbol.
+    kinds:
+        Physical collection kind per symbol (``array`` / ``hash`` / ``trie`` /
+        ``scalar``); used to select γ parameters.
+    scalar_values:
+        Known values of integer globals (dimension sizes, nnz counts), used to
+        size ``0:n`` ranges.
+    segments:
+        Average segment length per segmented array symbol (``A_idx2`` ...).
+    selectivity:
+        Default selectivity of predicates.
+    """
+
+    profiles: dict[str, Card] = field(default_factory=dict)
+    kinds: dict[str, str] = field(default_factory=dict)
+    scalar_values: dict[str, float] = field(default_factory=dict)
+    segments: dict[str, float] = field(default_factory=dict)
+    selectivity: float = DEFAULT_SELECTIVITY
+    default_dimension: float = DEFAULT_DIMENSION
+    default_segment: float = DEFAULT_SEGMENT
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_catalog(cls, catalog) -> "Statistics":
+        """Derive statistics from a :class:`repro.storage.Catalog`."""
+        stats = cls()
+        for name, profile in catalog.tensor_profiles().items():
+            stats.profiles[name] = card_from_profile(profile)
+        stats.kinds.update(catalog.physical_kinds())
+        stats.scalar_values.update(catalog.scalar_values())
+        stats.segments.update(catalog.segment_profiles())
+        # Physical arrays are themselves dictionaries position -> value; give
+        # them flat profiles based on their length so iterating them is costed.
+        env = catalog.globals()
+        for symbol, value in env.items():
+            if hasattr(value, "__len__") and symbol not in stats.profiles:
+                try:
+                    length = float(len(value))
+                except TypeError:  # pragma: no cover - defensive
+                    continue
+                stats.profiles[symbol] = Card(length, Card.scalar())
+        return stats
+
+    # -- queries --------------------------------------------------------------
+
+    def profile(self, name: str) -> Card | None:
+        return self.profiles.get(name)
+
+    def kind(self, name: str) -> str:
+        return self.kinds.get(name, "hash")
+
+    def scalar_value(self, name: str) -> float | None:
+        value = self.scalar_values.get(name)
+        return float(value) if value is not None else None
+
+    def segment(self, name: str) -> float:
+        return self.segments.get(name, self.default_segment)
+
+    def with_selectivity(self, selectivity: float) -> "Statistics":
+        """A copy of these statistics with a different default selectivity."""
+        return Statistics(
+            profiles=dict(self.profiles),
+            kinds=dict(self.kinds),
+            scalar_values=dict(self.scalar_values),
+            segments=dict(self.segments),
+            selectivity=selectivity,
+            default_dimension=self.default_dimension,
+            default_segment=self.default_segment,
+        )

@@ -1,0 +1,561 @@
+"""Term-level rewrite transformations.
+
+These functions implement the binder-crossing rewrites of Fig. 3 directly on
+De Bruijn terms: loop factorization (D2–D4), loop fusion (F1–F3), merge
+introduction (F4), condition hoisting and ``let`` inlining.  They are used in
+two places:
+
+* as the *appliers* of the dynamic e-graph rules (:mod:`repro.core.rules`),
+  where each is applied to a concrete representative term of the matched
+  e-node, and
+* as deterministic rewrite *strategies* (:func:`fuse`, :func:`factorize`,
+  :func:`greedy_optimize`) that generate candidate plans directly.  The
+  strategies also power the rule-ablation experiment of Fig. 9 and the
+  Taco-like baseline (fusion without factorization).
+
+Every transformation returns a new term, or ``None`` when it does not apply;
+all of them preserve the semantics of the input term (checked extensively by
+the property-based tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..sdqlite.ast import (
+    Add,
+    Cmp,
+    Const,
+    DictExpr,
+    Expr,
+    Get,
+    IfThen,
+    Idx,
+    Let,
+    Merge,
+    Mul,
+    Neg,
+    RangeExpr,
+    SliceGet,
+    Sub,
+    Sum,
+    Sym,
+    binder_arities,
+    children,
+    postorder,
+    rebuild,
+)
+from ..sdqlite.debruijn import free_indices, shift, substitute, uses_indices
+
+Transform = Callable[[Expr], "Expr | None"]
+
+
+# ---------------------------------------------------------------------------
+# small helpers
+# ---------------------------------------------------------------------------
+
+
+def _flatten_product(expr: Expr) -> list[Expr]:
+    """Flatten a tree of ``Mul`` into its list of factors."""
+    if isinstance(expr, Mul):
+        return _flatten_product(expr.left) + _flatten_product(expr.right)
+    return [expr]
+
+
+def _product(factors: Sequence[Expr]) -> Expr:
+    out = factors[0]
+    for factor in factors[1:]:
+        out = Mul(out, factor)
+    return out
+
+
+def remap_free(expr: Expr, mapping: Callable[[int], int], cutoff: int = 0) -> Expr:
+    """Apply ``mapping`` to every free index (expressed relative to the root)."""
+    if isinstance(expr, Idx):
+        if expr.index >= cutoff:
+            return Idx(mapping(expr.index - cutoff) + cutoff)
+        return expr
+    kids = children(expr)
+    if not kids:
+        return expr
+    arities = binder_arities(expr)
+    return rebuild(expr, [remap_free(child, mapping, cutoff + arity)
+                          for child, arity in zip(kids, arities)])
+
+
+def is_strict_in(expr: Expr, index: int) -> bool:
+    """True when ``expr`` is guaranteed to be zero whenever ``%index`` is zero.
+
+    The fusion rules F1–F3 replace "iterate only the stored entries" by
+    "iterate all candidates and bind the (possibly missing, hence zero)
+    value"; this is only an equivalence when the body annihilates on a zero
+    value.  The check is conservative (multiplicative positions only).
+    """
+    if isinstance(expr, Idx):
+        return expr.index == index
+    if isinstance(expr, Mul):
+        return is_strict_in(expr.left, index) or is_strict_in(expr.right, index)
+    if isinstance(expr, (Add, Sub)):
+        return is_strict_in(expr.left, index) and is_strict_in(expr.right, index)
+    if isinstance(expr, Neg):
+        return is_strict_in(expr.operand, index)
+    if isinstance(expr, DictExpr):
+        return is_strict_in(expr.value, index)
+    if isinstance(expr, IfThen):
+        return is_strict_in(expr.then, index)
+    if isinstance(expr, Let):
+        return is_strict_in(expr.body, index + 1) or (
+            is_strict_in(expr.value, index) and is_strict_in(expr.body, 0)
+        )
+    if isinstance(expr, Sum):
+        return is_strict_in(expr.body, index + 2) or is_strict_in(expr.source, index)
+    if isinstance(expr, Merge):
+        return is_strict_in(expr.body, index + 3)
+    if isinstance(expr, Get):
+        return is_strict_in(expr.target, index)
+    if isinstance(expr, SliceGet):
+        return is_strict_in(expr.target, index)
+    return False
+
+
+def is_collection_producer(expr: Expr) -> bool:
+    """True when the expression constructs a dictionary (rather than a scalar)."""
+    if isinstance(expr, (DictExpr, RangeExpr, SliceGet, Merge)):
+        return True
+    if isinstance(expr, Sum):
+        return is_collection_producer(expr.body)
+    if isinstance(expr, (IfThen,)):
+        return is_collection_producer(expr.then)
+    if isinstance(expr, Let):
+        return is_collection_producer(expr.body)
+    if isinstance(expr, (Add, Sub)):
+        return is_collection_producer(expr.left) or is_collection_producer(expr.right)
+    if isinstance(expr, Mul):
+        return is_collection_producer(expr.left) or is_collection_producer(expr.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Factorization (distributivity) — rules D2, D3, D4 of Fig. 3
+# ---------------------------------------------------------------------------
+
+
+def hoist_factor(term: Expr) -> Expr | None:
+    """D2/D3: pull loop-invariant factors out of a ``sum``.
+
+    ``sum(<k,v> in e1) a * b``, where ``a`` does not mention ``k``/``v``,
+    becomes ``a' * sum(<k,v> in e1) b``.
+    """
+    if not isinstance(term, Sum):
+        return None
+    factors = _flatten_product(term.body)
+    if len(factors) < 2:
+        return None
+    invariant = [f for f in factors if not uses_indices(f, (0, 1))]
+    dependent = [f for f in factors if uses_indices(f, (0, 1))]
+    if not invariant or not dependent:
+        return None
+    # Summing is linear in each factor only when the invariant part is scalar;
+    # hoisting a dictionary-valued factor out of the sum would change the
+    # meaning of the element-wise product, so only scalar-looking factors move.
+    hoisted = _product([shift(f, -2) for f in invariant])
+    remaining = _product(dependent)
+    return Mul(hoisted, Sum(term.source, remaining,
+                            key_name=term.key_name, val_name=term.val_name))
+
+
+def hoist_dict(term: Expr) -> Expr | None:
+    """D4: pull a dictionary construction with a loop-invariant key out of a sum.
+
+    ``sum(<k,v> in e1) { j -> e }`` with ``j`` independent of ``k, v`` becomes
+    ``{ j' -> sum(<k,v> in e1) e }``.
+    """
+    if not isinstance(term, Sum) or not isinstance(term.body, DictExpr):
+        return None
+    inner = term.body
+    if uses_indices(inner.key, (0, 1)):
+        return None
+    new_key = shift(inner.key, -2)
+    new_sum = Sum(term.source, inner.value, key_name=term.key_name, val_name=term.val_name)
+    # The hoisted key is now a single key, so the @unique assertion is dropped.
+    return DictExpr(new_key, new_sum, annot=inner.annot, unique=False)
+
+
+def hoist_if(term: Expr) -> Expr | None:
+    """Pull a loop-invariant condition out of a sum:
+    ``sum(<k,v> in e1) if (c) then e`` → ``if (c') then sum(<k,v> in e1) e``."""
+    if not isinstance(term, Sum) or not isinstance(term.body, IfThen):
+        return None
+    inner = term.body
+    if uses_indices(inner.cond, (0, 1)):
+        return None
+    new_cond = shift(inner.cond, -2)
+    return IfThen(new_cond, Sum(term.source, inner.then,
+                                key_name=term.key_name, val_name=term.val_name))
+
+
+def push_factor_into_dict(term: Expr) -> Expr | None:
+    """A2/A3 as a term rewrite: ``a * { k -> e }`` → ``{ k -> a * e }``."""
+    if isinstance(term, Mul):
+        left, right = term.left, term.right
+        if isinstance(right, DictExpr) and not is_collection_producer(left):
+            return DictExpr(right.key, Mul(left, right.value),
+                            annot=right.annot, unique=right.unique)
+        if isinstance(left, DictExpr) and not is_collection_producer(right):
+            return DictExpr(left.key, Mul(left.value, right),
+                            annot=left.annot, unique=left.unique)
+    return None
+
+
+def factor_out_of_dict(term: Expr) -> Expr | None:
+    """A2/A3 in the hoisting direction: ``{ k -> a * e }`` → ``a * { k -> e }``
+    for factors ``a`` that are scalar-valued sums (so they can later be hoisted
+    out of an enclosing loop and materialized once)."""
+    if not isinstance(term, DictExpr) or not isinstance(term.value, Mul):
+        return None
+    factors = _flatten_product(term.value)
+    liftable = [f for f in factors if isinstance(f, (Sum, Let)) and not is_collection_producer(f)]
+    rest = [f for f in factors if f not in liftable]
+    if not liftable or not rest:
+        return None
+    return Mul(_product(liftable),
+               DictExpr(term.key, _product(rest), annot=term.annot, unique=term.unique))
+
+
+# ---------------------------------------------------------------------------
+# Fusion — rules F1, F2, F3 of Fig. 3
+# ---------------------------------------------------------------------------
+
+
+def sum_to_lookup(term: Expr) -> Expr | None:
+    """F1: replace an iteration filtered on its key by a direct lookup.
+
+    ``sum(<k,v> in e1) if (k == j) then e3`` (``j`` loop-invariant) becomes
+    ``let v = e1(j) in e3[k := j]``.
+    """
+    if not isinstance(term, Sum) or not isinstance(term.body, IfThen):
+        return None
+    cond = term.body.cond
+    if not (isinstance(cond, Cmp) and cond.op == "=="):
+        return None
+    if cond.left == Idx(1) and not uses_indices(cond.right, (0, 1)):
+        key_expr = cond.right
+    elif cond.right == Idx(1) and not uses_indices(cond.left, (0, 1)):
+        key_expr = cond.left
+    else:
+        return None
+    body = term.body.then
+    if not is_strict_in(body, 0):
+        # Replacing the iteration by a lookup is only sound when a missing key
+        # (value 0) makes the body vanish.
+        return None
+    key_outside = shift(key_expr, -2)
+    # Replace the key variable %1 by the (loop-invariant) key expression and
+    # drop the key binder; the value binder %0 becomes the let binding.
+    new_body = substitute(body, 1, key_outside)
+    return Let(Get(term.source, key_outside), new_body, name=term.val_name)
+
+
+def fuse_sum_of_sum(term: Expr) -> Expr | None:
+    """F2/F3: fuse two nested loops when the inner one builds singleton dictionaries.
+
+    * F2: ``sum(<k1,v1> in (sum(<k2,v2> in e1) {k2 -> e2})) e3``
+      becomes ``sum(<k2,v2> in e1) let v1 = e2 in e3[k1 := k2]``.
+    * F3: ``sum(<k1,v1> in (sum(<k2,v2> in e1) {@unique e2 -> e3})) e4``
+      becomes ``sum(<k2,v2> in e1) let k1 = e2 in let v1 = e3 in e4``.
+    """
+    if not isinstance(term, Sum) or not isinstance(term.source, Sum):
+        return None
+    inner = term.source
+    if not isinstance(inner.body, DictExpr):
+        return None
+    dict_expr = inner.body
+    outer_body = term.body
+    if not is_strict_in(outer_body, 0):
+        # The inner sum drops entries whose value is zero; the fused loop
+        # visits them, so the outer body must annihilate on a zero value.
+        return None
+
+    if dict_expr.key == Idx(1):
+        # F2 — the produced keys are exactly the keys of e1.
+        # New context for the outer body: sum binds (k2=%2', v2=%1')... after the
+        # let it is (k2=%2, v2=%1, v1=%0); old context was (k1=%1, v1=%0).
+        def mapping(index: int) -> int:
+            if index == 0:      # v1 -> let binding
+                return 0
+            if index == 1:      # k1 -> k2
+                return 2
+            return index + 1    # outer references: one extra binder
+
+        new_outer = remap_free(outer_body, mapping)
+        return Sum(inner.source, Let(dict_expr.value, new_outer, name=term.val_name),
+                   key_name=inner.key_name, val_name=inner.val_name)
+
+    if dict_expr.unique:
+        # F3 — the produced keys are asserted distinct by @unique.
+        def mapping(index: int) -> int:
+            if index in (0, 1):  # v1, k1 keep their positions (now let-bound)
+                return index
+            return index + 2     # outer references: two extra binders
+
+        new_outer = remap_free(outer_body, mapping)
+        value_under_let = shift(dict_expr.value, 1)
+        fused = Let(dict_expr.key,
+                    Let(value_under_let, new_outer, name=term.val_name),
+                    name=term.key_name)
+        return Sum(inner.source, fused, key_name=inner.key_name, val_name=inner.val_name)
+
+    return None
+
+
+def introduce_merge(term: Expr) -> Expr | None:
+    """F4: turn a nested value-equality join into a sort-merge style ``merge``.
+
+    ``sum(<k1,v1> in e1) sum(<k2,v2> in e2) if (v1 == v2) then e3`` (with
+    ``e2`` independent of ``k1, v1``) becomes
+    ``merge(<k1,k2,v> in <e1,e2>) let v2 = v in e3``.
+    """
+    if not isinstance(term, Sum) or not isinstance(term.body, Sum):
+        return None
+    inner = term.body
+    if uses_indices(inner.source, (0, 1)):
+        return None
+    if not isinstance(inner.body, IfThen):
+        return None
+    cond = inner.body.cond
+    if not (isinstance(cond, Cmp) and cond.op == "=="):
+        return None
+    pair = {cond.left, cond.right}
+    if pair != {Idx(0), Idx(2)}:
+        return None
+    body = inner.body.then
+
+    # Old context (innermost first): v2=%0, k2=%1, v1=%2, k1=%3.
+    # New context:                   v2=%0 (let), v=%1, k2=%2, k1=%3.
+    def mapping(index: int) -> int:
+        if index == 0:
+            return 0
+        if index == 1:
+            return 2
+        if index == 2:
+            return 1
+        return index
+
+    new_body = remap_free(body, mapping)
+    return Merge(term.source, shift(inner.source, -2),
+                 Let(Idx(0), new_body, name=inner.val_name),
+                 key1_name=term.key_name, key2_name=inner.key_name, val_name="_shared")
+
+
+def lookup_of_range_sum(term: Expr) -> Expr | None:
+    """Turn a lookup into a range-built dictionary into a guarded direct access.
+
+    ``(sum(<k,_> in lo:hi) { k -> e })(j)`` becomes
+    ``if (lo <= j && j < hi) then e[k := j]``.  This is what makes lookups
+    like ``X(k)`` — composed with a dense storage mapping — compile to a
+    direct array access instead of re-materializing the mapping.
+    """
+    if not isinstance(term, Get) or not isinstance(term.target, Sum):
+        return None
+    inner = term.target
+    if not isinstance(inner.source, RangeExpr) or not isinstance(inner.body, DictExpr):
+        return None
+    if inner.body.key != Idx(1):
+        return None
+    key = term.key
+    # For a range source the bound value equals the bound key, so both binders
+    # collapse onto the lookup key: first identify the value binder with the
+    # key binder, then replace the key binder by the lookup key expression.
+    value = substitute(inner.body.value, 0, Idx(0))
+    value = substitute(value, 0, key)
+    from ..sdqlite.ast import And
+
+    guard = And(Cmp("<=", inner.source.lo, key), Cmp("<", key, inner.source.hi))
+    return IfThen(guard, value)
+
+
+def hoist_let_from_source(term: Expr) -> Expr | None:
+    """``sum(<k,v> in (let x = e1 in e2)) e3`` → ``let x = e1 in sum(<k,v> in e2) e3``."""
+    if not isinstance(term, Sum) or not isinstance(term.source, Let):
+        return None
+    inner = term.source
+    new_body = shift(term.body, 1, 2)
+    return Let(inner.value,
+               Sum(inner.body, new_body, key_name=term.key_name, val_name=term.val_name),
+               name=inner.name)
+
+
+def inline_let(term: Expr) -> Expr | None:
+    """``let x = e1 in e2`` → ``e2[e1/x]`` (beta reduction)."""
+    if not isinstance(term, Let):
+        return None
+    return substitute(term.body, 0, term.value)
+
+
+def inline_collection_lets(term: Expr) -> Expr | None:
+    """Inline ``let`` bindings whose value constructs a collection.
+
+    Materialized intermediate collections are what the fusion rules remove;
+    inlining them exposes the ``sum``-over-``sum`` shape that F2/F3 match.
+    Scalar ``let`` bindings are kept (they are cheap and avoid recomputation).
+    """
+    if isinstance(term, Let) and is_collection_producer(term.value):
+        return substitute(term.body, 0, term.value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Simplifications (term level)
+# ---------------------------------------------------------------------------
+
+
+def simplify_node(term: Expr) -> Expr | None:
+    """Local algebraic simplifications (rules L1–L6, T4, if-elimination)."""
+    if isinstance(term, Add):
+        if term.left == Const(0):
+            return term.right
+        if term.right == Const(0):
+            return term.left
+    if isinstance(term, Mul):
+        if term.left == Const(0) or term.right == Const(0):
+            return Const(0)
+        if term.left == Const(1):
+            return term.right
+        if term.right == Const(1):
+            return term.left
+    if isinstance(term, Sub):
+        if term.right == Const(0):
+            return term.left
+        if term.left == term.right:
+            return Const(0)
+    if isinstance(term, IfThen):
+        if term.cond == Const(True):
+            return term.then
+        if term.cond == Const(False):
+            return Const(0)
+        if isinstance(term.cond, Cmp) and term.cond.op == "==" and term.cond.left == term.cond.right:
+            return term.then
+    if isinstance(term, Sum) and term.body == Const(0):
+        return Const(0)
+    if isinstance(term, Get) and isinstance(term.target, RangeExpr):
+        # T4: looking up a range returns the key itself (guarded by bounds).
+        return IfThen(
+            Cmp("<=", term.target.lo, term.key),
+            IfThen(Cmp("<", term.key, term.target.hi), term.key),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Strategies: deterministic passes built from the transformations above
+# ---------------------------------------------------------------------------
+
+
+def rewrite_everywhere(term: Expr, transforms: Iterable[Transform],
+                       max_passes: int = 20) -> Expr:
+    """Apply the transformations bottom-up anywhere they match, to fixpoint."""
+    transforms = list(transforms)
+
+    def rewrite_once(node: Expr) -> tuple[Expr, bool]:
+        changed = False
+        kids = children(node)
+        if kids:
+            new_kids = []
+            for child in kids:
+                new_child, child_changed = rewrite_once(child)
+                changed = changed or child_changed
+                new_kids.append(new_child)
+            node = rebuild(node, new_kids)
+        for transform in transforms:
+            result = transform(node)
+            if result is not None and result != node:
+                return result, True
+        return node, changed
+
+    current = term
+    for _ in range(max_passes):
+        current, changed = rewrite_once(current)
+        if not changed:
+            break
+    return current
+
+
+#: The fusion pipeline: what a Taco-like compiler achieves for a given format.
+FUSION_TRANSFORMS: tuple[Transform, ...] = (
+    inline_collection_lets,
+    hoist_let_from_source,
+    fuse_sum_of_sum,
+    hoist_if,
+    sum_to_lookup,
+    lookup_of_range_sum,
+    simplify_node,
+)
+
+#: The factorization pipeline: the cost-based rewrites Taco does not perform.
+FACTORIZATION_TRANSFORMS: tuple[Transform, ...] = (
+    hoist_dict,
+    factor_out_of_dict,
+    hoist_factor,
+    hoist_if,
+    simplify_node,
+)
+
+
+def fuse(term: Expr, max_passes: int = 30) -> Expr:
+    """Fuse storage mappings into the program (loop fusion only, no factorization)."""
+    return rewrite_everywhere(term, FUSION_TRANSFORMS, max_passes)
+
+
+def factorize(term: Expr, max_passes: int = 30) -> Expr:
+    """Apply the distributivity / factorization rewrites to fixpoint."""
+    return rewrite_everywhere(term, FACTORIZATION_TRANSFORMS, max_passes)
+
+
+def greedy_optimize(term: Expr, *, with_fusion: bool = True,
+                    with_factorization: bool = True, with_merge: bool = False) -> Expr:
+    """The deterministic optimization pipeline used to seed the plan space.
+
+    The combinations of the two flags correspond to the ablations of Fig. 9:
+    neither (naive plan), fusion only (Taco-like), factorization only
+    (unfused), or both (the plan STOREL's cost-based optimizer picks for
+    sufficiently sparse data).
+    """
+    plan = term
+    if with_factorization:
+        plan = factorize(plan)
+    if with_fusion:
+        plan = fuse(plan)
+    if with_factorization:
+        plan = factorize(plan)
+    if with_merge:
+        plan = rewrite_everywhere(plan, (introduce_merge,), max_passes=5)
+    return plan
+
+
+#: Rewrites applied to every candidate plan, including the "naive" one: they
+#: only clean up composition artefacts (lookups into range-built mappings,
+#: trivial algebra) and correspond to accesses any execution engine performs
+#: directly; the interesting optimizations (fusion, factorization) stay
+#: exclusive to the optimized variants.
+NORMALIZATION_TRANSFORMS: tuple[Transform, ...] = (
+    lookup_of_range_sum,
+    simplify_node,
+)
+
+
+def normalize(term: Expr, max_passes: int = 10) -> Expr:
+    """Apply the composition clean-up rewrites (see NORMALIZATION_TRANSFORMS)."""
+    return rewrite_everywhere(term, NORMALIZATION_TRANSFORMS, max_passes)
+
+
+def candidate_plans(term: Expr) -> dict[str, Expr]:
+    """The named candidate plans the optimizer seeds the e-graph with."""
+    base = normalize(term)
+    return {
+        "naive": base,
+        "fused": greedy_optimize(base, with_fusion=True, with_factorization=False),
+        "factorized": greedy_optimize(base, with_fusion=False, with_factorization=True),
+        "fused+factorized": greedy_optimize(base, with_fusion=True, with_factorization=True),
+        "fused+factorized+merge": greedy_optimize(
+            base, with_fusion=True, with_factorization=True, with_merge=True),
+    }

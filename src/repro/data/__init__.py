@@ -1,0 +1,18 @@
+"""Datasets: synthetic generators plus scaled stand-ins for Table 2."""
+
+from .frostt import TENSORS, load_tensor, tensor_names
+from .suitesparse import MATRICES, load_matrix, matrix_names
+from .synthetic import (
+    density_sweep,
+    random_dense_vector,
+    random_sparse_matrix,
+    random_sparse_tensor3,
+    random_sparse_vector,
+)
+
+__all__ = [
+    "TENSORS", "load_tensor", "tensor_names",
+    "MATRICES", "load_matrix", "matrix_names",
+    "density_sweep", "random_dense_vector", "random_sparse_matrix",
+    "random_sparse_tensor3", "random_sparse_vector",
+]

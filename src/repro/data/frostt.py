@@ -1,0 +1,78 @@
+"""Stand-ins for the FROSTT rank-3 tensors of Table 2.
+
+As with the SuiteSparse matrices, the FROSTT collection is not available
+offline; the generators below preserve each tensor's shape (scaled down) and
+density.  See DESIGN.md ("Substitutions") for the rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import random_sparse_tensor3
+
+#: Default linear scale factor for each tensor dimension.
+DEFAULT_SCALE = 16
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and density of one Table-2 rank-3 tensor (at original scale)."""
+
+    name: str
+    dims: tuple[int, int, int]
+    density: float
+    nnz: int
+    seed: int
+
+
+#: Table 2 of the paper (rank-3 tensors).
+TENSORS: dict[str, TensorSpec] = {
+    "NIPS": TensorSpec("NIPS", (2_400, 2_800, 14_000), 3e-5, 31_310_000, 21),
+    "NELL": TensorSpec("NELL", (12_000, 9_200, 29_000), 2e-5, 76_880_000, 22),
+    "Facebook": TensorSpec("Facebook", (1_600, 64_000, 64_000), 1e-7, 740_000, 23),
+    "Enron": TensorSpec("Enron", (6_000, 5_700, 244_000), 3e-6, 3_100_000, 24),
+}
+
+
+def tensor_names() -> list[str]:
+    """The tensor names in the order the paper's figures use."""
+    return ["NIPS", "NELL", "Facebook", "Enron"]
+
+
+def load_tensor(name: str, scale: int = DEFAULT_SCALE, *, min_dim: int = 24,
+                max_nnz: int = 50_000) -> tuple[np.ndarray, np.ndarray, tuple[int, int, int]]:
+    """Generate the scaled stand-in for FROSTT tensor ``name``.
+
+    Returns ``(coords, values, shape)``.  The density is increased just enough
+    to keep at least a few hundred non-zeros at the reduced scale, and capped
+    so the slowest baseline still finishes in benchmark time.
+    """
+    spec = TENSORS[name]
+    dims = tuple(max(min_dim, d // scale) for d in spec.dims)
+    volume = float(dims[0]) * dims[1] * dims[2]
+    density = max(spec.density, 500.0 / volume)
+    density = min(density, max_nnz / volume)
+    coords, values = random_sparse_tensor3(*dims, density, seed=spec.seed)
+    return coords, values, dims
+
+
+def table2_rows(scale: int = DEFAULT_SCALE) -> list[dict]:
+    """The rows of Table 2 (tensors) for the stand-ins actually generated."""
+    rows = []
+    for name in tensor_names():
+        spec = TENSORS[name]
+        coords, values, dims = load_tensor(name, scale)
+        volume = float(dims[0]) * dims[1] * dims[2]
+        rows.append({
+            "tensor": name,
+            "paper_dims": "x".join(str(d) for d in spec.dims),
+            "paper_density": spec.density,
+            "paper_nnz": spec.nnz,
+            "repro_dims": "x".join(str(d) for d in dims),
+            "repro_density": values.shape[0] / volume,
+            "repro_nnz": int(values.shape[0]),
+        })
+    return rows

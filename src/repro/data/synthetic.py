@@ -1,0 +1,86 @@
+"""Synthetic data generators.
+
+The paper evaluates on (a) real-world matrices / tensors (Table 2) and (b)
+synthetic matrices and vectors of controlled sparsity (Sec. 6.2, Fig. 8–10).
+This module provides the synthetic generators; the real-world stand-ins are
+built on top of them in :mod:`repro.data.suitesparse` and
+:mod:`repro.data.frostt`.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_sparse_matrix(rows: int, cols: int, density: float, *,
+                         seed: int = 0, skew: float = 0.0,
+                         value_low: float = 0.1, value_high: float = 1.0) -> np.ndarray:
+    """A dense array with approximately ``density * rows * cols`` non-zeros.
+
+    ``skew`` in [0, 1) concentrates the non-zeros in earlier rows (a crude
+    model of the power-law row distributions of real matrices); 0 means
+    uniform.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((rows, cols), dtype=np.float64)
+    nnz = int(round(density * rows * cols))
+    if nnz == 0:
+        return matrix
+    if skew > 0:
+        weights = (1.0 / np.arange(1, rows + 1) ** skew)
+        weights /= weights.sum()
+        row_indices = rng.choice(rows, size=nnz, p=weights)
+    else:
+        row_indices = rng.integers(0, rows, size=nnz)
+    col_indices = rng.integers(0, cols, size=nnz)
+    values = rng.uniform(value_low, value_high, size=nnz)
+    matrix[row_indices, col_indices] = values
+    return matrix
+
+
+def random_sparse_tensor3(dim1: int, dim2: int, dim3: int, density: float, *,
+                          seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Coordinates and values of a random rank-3 tensor with the given density.
+
+    Returned as ``(coords, values)`` with ``coords`` of shape (nnz, 3); a
+    dense materialization would often be too large, so callers feed this
+    directly into :meth:`StorageFormat.from_coo`.
+    """
+    rng = np.random.default_rng(seed)
+    nnz = int(round(density * dim1 * dim2 * dim3))
+    nnz = max(1, nnz)
+    coords = np.column_stack([
+        rng.integers(0, dim1, size=nnz),
+        rng.integers(0, dim2, size=nnz),
+        rng.integers(0, dim3, size=nnz),
+    ]).astype(np.int64)
+    # Deduplicate coordinates so formats that assume distinct keys agree.
+    _, unique_index = np.unique(coords, axis=0, return_index=True)
+    coords = coords[np.sort(unique_index)]
+    values = rng.uniform(0.1, 1.0, size=coords.shape[0])
+    return coords, values
+
+
+def random_sparse_vector(size: int, density: float, *, seed: int = 0) -> np.ndarray:
+    """A dense vector with approximately ``density * size`` non-zeros."""
+    rng = np.random.default_rng(seed)
+    vector = np.zeros(size, dtype=np.float64)
+    nnz = int(round(density * size))
+    if nnz == 0:
+        return vector
+    positions = rng.choice(size, size=min(nnz, size), replace=False)
+    vector[positions] = rng.uniform(0.1, 1.0, size=positions.shape[0])
+    return vector
+
+
+def random_dense_vector(size: int, *, seed: int = 0) -> np.ndarray:
+    """A fully dense random vector."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.1, 1.0, size=size)
+
+
+def density_sweep(start_exponent: int = -11, stop_exponent: int = 0) -> list[float]:
+    """The density grid 2^start .. 2^stop used in Fig. 8 and Fig. 9."""
+    return [2.0 ** e for e in range(start_exponent, stop_exponent + 1)]

@@ -1,0 +1,225 @@
+"""The e-graph: a congruence-closed union of equivalence classes of terms.
+
+This is a from-scratch reimplementation of the data structure at the core of
+the Egg equality-saturation framework (Willsey et al., POPL 2021) used by the
+paper's optimizer (Sec. 5.3):
+
+* a **hashcons** maps canonical e-nodes to their e-class,
+* a **union-find** tracks which e-classes have been merged,
+* **rebuild** restores congruence after unions (if ``f(a)`` and ``f(b)`` are
+  both present and ``a == b`` then the two application nodes are merged),
+* an **analysis** attaches semantic data to every class; here it is the set
+  of free De Bruijn indices (used as side conditions by the rewrite rules),
+* every class also keeps its smallest known concrete term
+  (``best_term``), which dynamic rewrites use when they need to perform
+  substitution at the term level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..sdqlite.ast import Expr, node_count
+from ..sdqlite.debruijn import free_indices
+from ..sdqlite.errors import OptimizationError
+from .language import ENode, ast_children, ast_to_label, label_binders, label_to_ast
+from .unionfind import UnionFind
+
+
+@dataclass
+class EClass:
+    """One equivalence class: its nodes, parents, analysis data and best term."""
+
+    identifier: int
+    nodes: list[ENode] = field(default_factory=list)
+    parents: list[tuple[ENode, int]] = field(default_factory=list)
+    free_vars: frozenset[int] = frozenset()
+    best_term: Expr | None = None
+    best_size: int = 1 << 30
+
+
+class EGraph:
+    """An e-graph over SDQLite expressions in De Bruijn form."""
+
+    def __init__(self) -> None:
+        self._union_find = UnionFind()
+        self._classes: dict[int, EClass] = {}
+        self._hashcons: dict[ENode, int] = {}
+        self._pending: list[int] = []
+        self.unions_performed = 0
+
+    # -- basic queries --------------------------------------------------------
+
+    def find(self, identifier: int) -> int:
+        return self._union_find.find(identifier)
+
+    def classes(self) -> Iterator[EClass]:
+        """Iterate over canonical e-classes."""
+        for identifier, eclass in self._classes.items():
+            if self.find(identifier) == identifier:
+                yield eclass
+
+    def __getitem__(self, identifier: int) -> EClass:
+        return self._classes[self.find(identifier)]
+
+    @property
+    def num_classes(self) -> int:
+        return sum(1 for _ in self.classes())
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(eclass.nodes) for eclass in self.classes())
+
+    @property
+    def memo_size(self) -> int:
+        """Size of the hashcons (the 'memo' reported in Table 4 of the paper)."""
+        return len(self._hashcons)
+
+    # -- insertion ------------------------------------------------------------
+
+    def add_enode(self, enode: ENode) -> int:
+        """Insert an e-node (children must already be canonical class ids)."""
+        enode = enode.canonicalize(self.find)
+        if enode in self._hashcons:
+            return self.find(self._hashcons[enode])
+        identifier = self._union_find.make_set()
+        eclass = EClass(identifier)
+        eclass.nodes.append(enode)
+        eclass.free_vars = self._make_free_vars(enode)
+        self._classes[identifier] = eclass
+        self._hashcons[enode] = identifier
+        for child in enode.children:
+            self._classes[self.find(child)].parents.append((enode, identifier))
+        return identifier
+
+    def add_expr(self, expr: Expr) -> int:
+        """Insert a whole AST (in De Bruijn form); returns its e-class id."""
+        kids = [self.add_expr(child) for child in ast_children(expr)]
+        label = ast_to_label(expr)
+        identifier = self.add_enode(ENode(label, tuple(kids)))
+        self._offer_term(identifier, expr)
+        return identifier
+
+    def _offer_term(self, identifier: int, expr: Expr) -> None:
+        eclass = self._classes[self.find(identifier)]
+        size = node_count(expr)
+        if size < eclass.best_size:
+            eclass.best_size = size
+            eclass.best_term = expr
+
+    def best_term(self, identifier: int) -> Expr:
+        """The smallest concrete term known for the class of ``identifier``."""
+        eclass = self._classes[self.find(identifier)]
+        if eclass.best_term is None:
+            # Fall back to a size-based extraction (rare: only for classes
+            # created by instantiating pattern templates).
+            from .extract import extract_smallest
+
+            eclass.best_term = extract_smallest(self, identifier)
+            eclass.best_size = node_count(eclass.best_term)
+        return eclass.best_term
+
+    def node_term(self, enode: ENode) -> Expr:
+        """A concrete term for one e-node, built from its children's best terms."""
+        kids = [self.best_term(child) for child in enode.children]
+        return label_to_ast(enode.label, kids)
+
+    # -- union / congruence ----------------------------------------------------
+
+    def union(self, a: int, b: int) -> int:
+        """Assert that two e-classes denote the same value; returns the merged id."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return root_a
+        merged = self._union_find.union(root_a, root_b)
+        other = root_b if merged == root_a else root_a
+        winner = self._classes[merged]
+        loser = self._classes[other]
+        winner.nodes.extend(loser.nodes)
+        winner.parents.extend(loser.parents)
+        # Free-variable analysis: equal values depend on the intersection of
+        # the variables their representations mention.
+        winner.free_vars = winner.free_vars & loser.free_vars
+        if loser.best_size < winner.best_size:
+            winner.best_size = loser.best_size
+            winner.best_term = loser.best_term
+        del self._classes[other]
+        self._pending.append(merged)
+        self.unions_performed += 1
+        return merged
+
+    def rebuild(self) -> None:
+        """Restore the congruence invariant after a batch of unions."""
+        while self._pending:
+            todo = {self.find(identifier) for identifier in self._pending}
+            self._pending.clear()
+            for identifier in todo:
+                self._repair(identifier)
+
+    def _repair(self, identifier: int) -> None:
+        eclass = self._classes.get(self.find(identifier))
+        if eclass is None:
+            return
+        # Re-canonicalize parents and merge congruent ones.
+        new_parents: dict[ENode, int] = {}
+        for parent_node, parent_class in eclass.parents:
+            self._hashcons.pop(parent_node, None)
+            canonical = parent_node.canonicalize(self.find)
+            parent_class = self.find(parent_class)
+            if canonical in new_parents:
+                self.union(parent_class, new_parents[canonical])
+                parent_class = self.find(parent_class)
+            new_parents[canonical] = parent_class
+            self._hashcons[canonical] = parent_class
+        eclass.parents = [(node, cls) for node, cls in new_parents.items()]
+        # Deduplicate the nodes of this class as well.
+        seen: dict[ENode, None] = {}
+        for node in eclass.nodes:
+            seen.setdefault(node.canonicalize(self.find), None)
+        eclass.nodes = list(seen.keys())
+
+    # -- analyses --------------------------------------------------------------
+
+    def _make_free_vars(self, enode: ENode) -> frozenset[int]:
+        binders = label_binders(enode.label)
+        if enode.head == "idx":
+            return frozenset({enode.label[1]})
+        out: set[int] = set()
+        for position, child in enumerate(enode.children):
+            bound = binders[position] if position < len(binders) else 0
+            child_class = self._classes.get(self.find(child))
+            child_free = child_class.free_vars if child_class else frozenset()
+            out.update(index - bound for index in child_free if index >= bound)
+        return frozenset(out)
+
+    def free_vars(self, identifier: int) -> frozenset[int]:
+        """Free De Bruijn indices the class's value can depend on."""
+        return self._classes[self.find(identifier)].free_vars
+
+    # -- convenience ------------------------------------------------------------
+
+    def equivalent(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def contains_expr(self, expr: Expr) -> int | None:
+        """Return the class id of ``expr`` if it is already represented, else None."""
+        kids = []
+        for child in ast_children(expr):
+            child_id = self.contains_expr(child)
+            if child_id is None:
+                return None
+            kids.append(child_id)
+        enode = ENode(ast_to_label(expr), tuple(kids)).canonicalize(self.find)
+        identifier = self._hashcons.get(enode)
+        return self.find(identifier) if identifier is not None else None
+
+    def sanity_check(self) -> None:
+        """Verify hashcons / class invariants (used by the tests)."""
+        for enode, identifier in self._hashcons.items():
+            canonical = enode.canonicalize(self.find)
+            if canonical != enode:
+                raise OptimizationError("hashcons contains a non-canonical node")
+            if self.find(identifier) not in self._classes:
+                raise OptimizationError("hashcons points to a dead class")

@@ -1,0 +1,98 @@
+"""Extraction of concrete terms from the e-graph.
+
+After saturation the optimizer must pick, for the root e-class, the best
+expression represented in the graph ("extraction" in Egg terminology).  This
+module provides the generic machinery:
+
+* :func:`extract_smallest` — the classic AST-size extractor (used for tests,
+  for representative terms, and as a tie-breaker),
+* :class:`Extractor` — a bottom-up fixpoint extractor parameterized by a cost
+  function on e-nodes (cost of a node given its children's chosen costs).
+
+The paper's full cost model (Fig. 6) needs an *environment* for bound
+variables' cardinalities, so it cannot be expressed as a purely bottom-up
+node cost; the cost-based extraction used by the optimizer therefore lives in
+:mod:`repro.core.cost` and works top-down with memoization.  The extractors
+here remain useful building blocks and sanity oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from ..sdqlite.ast import Expr
+from ..sdqlite.errors import OptimizationError
+from .egraph import EGraph
+from .language import ENode, label_to_ast
+
+#: Cost function signature: (enode, child costs) -> cost of choosing this node.
+NodeCost = Callable[[ENode, Sequence[float]], float]
+
+
+def ast_size_cost(enode: ENode, child_costs: Sequence[float]) -> float:
+    """Cost = number of AST nodes."""
+    return 1.0 + sum(child_costs)
+
+
+class Extractor:
+    """Bottom-up fixpoint extraction with a pluggable per-node cost function."""
+
+    def __init__(self, egraph: EGraph, cost_function: NodeCost = ast_size_cost):
+        self.egraph = egraph
+        self.cost_function = cost_function
+        self._best: dict[int, tuple[float, ENode]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        changed = True
+        # Fixpoint iteration: cyclic classes simply never improve past infinity
+        # unless they have an acyclic member, which is exactly what we want.
+        while changed:
+            changed = False
+            for eclass in self.egraph.classes():
+                for enode in eclass.nodes:
+                    cost = self._node_cost(enode)
+                    if cost is None:
+                        continue
+                    current = self._best.get(eclass.identifier)
+                    if current is None or cost < current[0] - 1e-12:
+                        self._best[eclass.identifier] = (cost, enode)
+                        changed = True
+
+    def _node_cost(self, enode: ENode) -> float | None:
+        child_costs = []
+        for child in enode.children:
+            best = self._best.get(self.egraph.find(child))
+            if best is None:
+                return None
+            child_costs.append(best[0])
+        cost = self.cost_function(enode, child_costs)
+        return None if math.isinf(cost) else cost
+
+    def cost_of(self, identifier: int) -> float:
+        """The best cost found for the class of ``identifier``."""
+        best = self._best.get(self.egraph.find(identifier))
+        if best is None:
+            return math.inf
+        return best[0]
+
+    def extract(self, identifier: int) -> Expr:
+        """The best concrete term for the class of ``identifier``."""
+        return self._build(self.egraph.find(identifier), set())
+
+    def _build(self, identifier: int, on_stack: set[int]) -> Expr:
+        identifier = self.egraph.find(identifier)
+        best = self._best.get(identifier)
+        if best is None:
+            raise OptimizationError("extraction failed: class has no finite-cost term")
+        if identifier in on_stack:
+            raise OptimizationError("extraction failed: cyclic best term")
+        _, enode = best
+        kids = [self._build(child, on_stack | {identifier}) for child in enode.children]
+        return label_to_ast(enode.label, kids)
+
+
+def extract_smallest(egraph: EGraph, identifier: int) -> Expr:
+    """Extract the syntactically smallest term of an e-class."""
+    return Extractor(egraph, ast_size_cost).extract(identifier)

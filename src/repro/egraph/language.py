@@ -1,0 +1,172 @@
+"""Bridging SDQLite ASTs and e-graph nodes.
+
+An e-node is an operator label plus a tuple of child e-class ids.  The label
+encodes the node type together with any non-child payload (constant values,
+symbol names, De Bruijn indices, comparison operators, dictionary
+annotations), so two nodes with the same label and the same children are the
+same expression.
+
+Only the nameless (De Bruijn) form is representable: named variables would
+break the congruence invariant (see Sec. 5.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sdqlite.ast import (
+    Add,
+    And,
+    Cmp,
+    Const,
+    DictExpr,
+    Div,
+    Expr,
+    Get,
+    IfThen,
+    Idx,
+    Let,
+    Merge,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    RangeExpr,
+    SliceGet,
+    Sub,
+    Sum,
+    Sym,
+    Var,
+    children,
+)
+from ..sdqlite.errors import OptimizationError
+
+Label = tuple
+
+#: number of binders each operator introduces over each child, keyed by label head.
+BINDERS_BY_HEAD: dict[str, tuple[int, ...]] = {
+    "let": (0, 1),
+    "sum": (0, 2),
+    "merge": (0, 0, 3),
+}
+
+
+@dataclass(frozen=True)
+class ENode:
+    """An operator label applied to e-class children."""
+
+    label: Label
+    children: tuple[int, ...]
+
+    def canonicalize(self, find) -> "ENode":
+        return ENode(self.label, tuple(find(child) for child in self.children))
+
+    @property
+    def head(self) -> str:
+        return self.label[0]
+
+
+def ast_to_label(expr: Expr) -> Label:
+    """The e-node label (without children) of an AST node."""
+    if isinstance(expr, Const):
+        return ("const", expr.value)
+    if isinstance(expr, Sym):
+        return ("sym", expr.name)
+    if isinstance(expr, Idx):
+        return ("idx", expr.index)
+    if isinstance(expr, Var):
+        raise OptimizationError(
+            f"named variable {expr.name!r} cannot enter the e-graph; convert to De Bruijn form first"
+        )
+    if isinstance(expr, Add):
+        return ("add",)
+    if isinstance(expr, Sub):
+        return ("sub",)
+    if isinstance(expr, Mul):
+        return ("mul",)
+    if isinstance(expr, Div):
+        return ("div",)
+    if isinstance(expr, Neg):
+        return ("neg",)
+    if isinstance(expr, Cmp):
+        return ("cmp", expr.op)
+    if isinstance(expr, And):
+        return ("and",)
+    if isinstance(expr, Or):
+        return ("or",)
+    if isinstance(expr, Not):
+        return ("not",)
+    if isinstance(expr, DictExpr):
+        return ("dict", expr.annot, expr.unique)
+    if isinstance(expr, Get):
+        return ("get",)
+    if isinstance(expr, RangeExpr):
+        return ("range",)
+    if isinstance(expr, SliceGet):
+        return ("slice",)
+    if isinstance(expr, IfThen):
+        return ("if",)
+    if isinstance(expr, Let):
+        return ("let",)
+    if isinstance(expr, Sum):
+        return ("sum",)
+    if isinstance(expr, Merge):
+        return ("merge",)
+    raise OptimizationError(f"cannot convert {type(expr).__name__} to an e-node label")
+
+
+def label_to_ast(label: Label, kids: Sequence[Expr]) -> Expr:
+    """Rebuild an AST node from a label and already-built child ASTs."""
+    head = label[0]
+    if head == "const":
+        return Const(label[1])
+    if head == "sym":
+        return Sym(label[1])
+    if head == "idx":
+        return Idx(label[1])
+    if head == "add":
+        return Add(kids[0], kids[1])
+    if head == "sub":
+        return Sub(kids[0], kids[1])
+    if head == "mul":
+        return Mul(kids[0], kids[1])
+    if head == "div":
+        return Div(kids[0], kids[1])
+    if head == "neg":
+        return Neg(kids[0])
+    if head == "cmp":
+        return Cmp(label[1], kids[0], kids[1])
+    if head == "and":
+        return And(kids[0], kids[1])
+    if head == "or":
+        return Or(kids[0], kids[1])
+    if head == "not":
+        return Not(kids[0])
+    if head == "dict":
+        return DictExpr(kids[0], kids[1], annot=label[1], unique=label[2])
+    if head == "get":
+        return Get(kids[0], kids[1])
+    if head == "range":
+        return RangeExpr(kids[0], kids[1])
+    if head == "slice":
+        return SliceGet(kids[0], kids[1], kids[2])
+    if head == "if":
+        return IfThen(kids[0], kids[1])
+    if head == "let":
+        return Let(kids[0], kids[1])
+    if head == "sum":
+        return Sum(kids[0], kids[1])
+    if head == "merge":
+        return Merge(kids[0], kids[1], kids[2])
+    raise OptimizationError(f"unknown e-node label {label!r}")
+
+
+def label_binders(label: Label) -> tuple[int, ...]:
+    """Binder arity per child for the given label."""
+    return BINDERS_BY_HEAD.get(label[0], ())
+
+
+def ast_children(expr: Expr) -> tuple[Expr, ...]:
+    """Children of an AST node (re-exported for convenience)."""
+    return children(expr)

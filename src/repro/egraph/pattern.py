@@ -1,0 +1,160 @@
+"""Pattern matching (e-matching) over the e-graph.
+
+A pattern is an SDQLite expression template in De Bruijn form whose leaves
+may be *pattern variables*.  Pattern variables are written as
+:class:`~repro.sdqlite.ast.Var` nodes whose name starts with ``?`` (so
+patterns can be built with the ordinary AST constructors, or parsed from
+source text such as ``"?a * (?b + ?c)"``).
+
+Matching a pattern against an e-class yields substitutions mapping pattern
+variable names to e-class ids; a pattern can also be *instantiated* under a
+substitution, adding the corresponding nodes to the e-graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..sdqlite.ast import Expr, Var, children
+from ..sdqlite.errors import OptimizationError
+from ..sdqlite.parser import parse_expr
+from .egraph import EGraph
+from .language import ENode, ast_to_label, label_to_ast
+
+Subst = dict[str, int]
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """Internal compiled form: either a variable or an operator with children."""
+
+    variable: str | None
+    label: tuple | None
+    children: tuple["PatternNode", ...]
+
+    @property
+    def is_variable(self) -> bool:
+        return self.variable is not None
+
+
+class Pattern:
+    """A compiled pattern ready for e-matching and instantiation."""
+
+    def __init__(self, template: Expr | str):
+        if isinstance(template, str):
+            template = parse_pattern(template)
+        self.template = template
+        self.root = _compile(template)
+        self.variables = sorted(_collect_variables(self.root))
+
+    def search_class(self, egraph: EGraph, identifier: int) -> list[Subst]:
+        """All substitutions under which this pattern matches the given e-class."""
+        return list(_match_class(egraph, self.root, egraph.find(identifier), {}))
+
+    def search(self, egraph: EGraph) -> list[tuple[int, Subst]]:
+        """All (class id, substitution) pairs where the pattern matches."""
+        matches: list[tuple[int, Subst]] = []
+        for eclass in list(egraph.classes()):
+            for subst in self.search_class(egraph, eclass.identifier):
+                matches.append((eclass.identifier, subst))
+        return matches
+
+    def instantiate(self, egraph: EGraph, subst: Mapping[str, int]) -> int:
+        """Add this pattern to the e-graph with variables replaced per ``subst``."""
+        return _instantiate(egraph, self.root, subst)
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.template})"
+
+
+def parse_pattern(source: str) -> Expr:
+    """Parse pattern source text; ``?x`` identifiers become pattern variables.
+
+    The text is ordinary SDQLite except that identifiers may be prefixed with
+    ``?``; bound variables must be written as De Bruijn indices ``%k`` — to
+    keep patterns unambiguous no named binders are allowed.
+    """
+    # The SDQLite tokenizer has no '?' token, so encode pattern variables as a
+    # reserved symbol prefix before parsing and decode afterwards.
+    encoded = source.replace("?", "__pvar_").replace("%", "__idx_")
+    expr = parse_expr(encoded)
+    return _decode(expr)
+
+
+def _decode(expr: Expr) -> Expr:
+    from ..sdqlite.ast import Idx, Sym, rebuild
+
+    if isinstance(expr, (Sym, Var)):
+        name = expr.name
+        if name.startswith("__pvar_"):
+            return Var("?" + name[len("__pvar_"):])
+        if name.startswith("__idx_"):
+            return Idx(int(name[len("__idx_"):]))
+        return expr
+    kids = children(expr)
+    if not kids:
+        return expr
+    return rebuild(expr, [_decode(child) for child in kids])
+
+
+def _compile(template: Expr) -> PatternNode:
+    if isinstance(template, Var):
+        if not template.name.startswith("?"):
+            raise OptimizationError(
+                f"named variable {template.name!r} in a pattern; use ?names or %indices"
+            )
+        return PatternNode(template.name, None, ())
+    # Binder *names* are ignored by labels, so templates may use sum(<k,v> ...)
+    # syntax as long as bound occurrences are written as De Bruijn indices.
+    label = ast_to_label(template)
+    kids = tuple(_compile(child) for child in children(template))
+    return PatternNode(None, label, kids)
+
+
+def _collect_variables(node: PatternNode) -> set[str]:
+    if node.is_variable:
+        return {node.variable}
+    out: set[str] = set()
+    for child in node.children:
+        out |= _collect_variables(child)
+    return out
+
+
+def _match_class(egraph: EGraph, node: PatternNode, identifier: int,
+                 subst: Subst) -> Iterator[Subst]:
+    identifier = egraph.find(identifier)
+    if node.is_variable:
+        bound = subst.get(node.variable)
+        if bound is None:
+            extended = dict(subst)
+            extended[node.variable] = identifier
+            yield extended
+        elif egraph.find(bound) == identifier:
+            yield dict(subst)
+        return
+    for enode in egraph[identifier].nodes:
+        if enode.label != node.label or len(enode.children) != len(node.children):
+            continue
+        yield from _match_children(egraph, node.children, enode.children, 0, subst)
+
+
+def _match_children(egraph: EGraph, pattern_children, class_children, position,
+                    subst: Subst) -> Iterator[Subst]:
+    if position == len(pattern_children):
+        yield dict(subst)
+        return
+    for extended in _match_class(egraph, pattern_children[position],
+                                 class_children[position], subst):
+        yield from _match_children(egraph, pattern_children, class_children,
+                                   position + 1, extended)
+
+
+def _instantiate(egraph: EGraph, node: PatternNode, subst: Mapping[str, int]) -> int:
+    if node.is_variable:
+        try:
+            return egraph.find(subst[node.variable])
+        except KeyError as exc:
+            raise OptimizationError(f"unbound pattern variable {node.variable}") from exc
+    kids = tuple(_instantiate(egraph, child, subst) for child in node.children)
+    return egraph.add_enode(ENode(node.label, kids))

@@ -1,0 +1,131 @@
+"""Rewrite rules over the e-graph.
+
+Two kinds of rules exist, mirroring how the paper's optimizer is built on Egg
+(Sec. 5.2–5.4):
+
+* **Syntactic rules** — left-hand side and right-hand side are both patterns;
+  every match of the LHS instantiates the RHS and unions the two classes.
+  Optional *conditions* receive the e-graph and the substitution (used, e.g.,
+  to consult the free-variable analysis).
+* **Dynamic rules** — the right-hand side is a Python function.  It receives
+  the e-graph, the matched e-node (with a concrete representative term built
+  from the children's best terms) and the substitution, and returns a new
+  term (or ``None`` to decline).  Dynamic rules implement the binder-crossing
+  rewrites (loop factorization D2–D4, loop fusion F1–F4, let inlining), where
+  index-shifted substitution cannot be expressed as a pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..sdqlite.ast import Expr
+from ..sdqlite.debruijn import to_debruijn_safe
+from .egraph import EGraph
+from .language import ENode
+from .pattern import Pattern, Subst
+
+Condition = Callable[[EGraph, Subst], bool]
+DynamicApplier = Callable[[EGraph, ENode, Expr, Subst], Expr | None]
+
+
+@dataclass
+class Rewrite:
+    """A named rewrite rule ``lhs -> rhs`` (with optional side conditions)."""
+
+    name: str
+    searcher: Pattern
+    applier: Pattern | None = None
+    dynamic: DynamicApplier | None = None
+    conditions: tuple[Condition, ...] = ()
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.applier is None) == (self.dynamic is None):
+            raise ValueError(f"rule {self.name}: exactly one of applier/dynamic is required")
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def syntactic(cls, name: str, lhs: str | Expr, rhs: str | Expr,
+                  *conditions: Condition) -> "Rewrite":
+        """A pattern-to-pattern rule."""
+        return cls(name, Pattern(lhs), applier=Pattern(rhs), conditions=tuple(conditions))
+
+    @classmethod
+    def make_dynamic(cls, name: str, lhs: str | Expr, applier: DynamicApplier,
+                     *conditions: Condition) -> "Rewrite":
+        """A rule whose right-hand side is computed by a Python function."""
+        return cls(name, Pattern(lhs), dynamic=applier, conditions=tuple(conditions))
+
+    # -- application ------------------------------------------------------------
+
+    def search(self, egraph: EGraph) -> list[tuple[int, Subst]]:
+        return self.searcher.search(egraph)
+
+    def apply_match(self, egraph: EGraph, identifier: int, subst: Subst) -> bool:
+        """Apply the rule to one match; returns True when the e-graph changed."""
+        for condition in self.conditions:
+            if not condition(egraph, subst):
+                return False
+        before = egraph.find(identifier)
+        if self.applier is not None:
+            new_id = self.applier.instantiate(egraph, subst)
+            merged = egraph.union(before, new_id)
+            return merged != before or egraph.find(new_id) != new_id
+        # Dynamic rule: rebuild a concrete term for the matched node and let
+        # the applier produce a transformed term.
+        changed = False
+        for enode in list(egraph[identifier].nodes):
+            if enode.label != self.searcher.root.label:
+                continue
+            matched_term = egraph.node_term(enode)
+            produced = self.dynamic(egraph, enode, matched_term, dict(subst))
+            if produced is None:
+                continue
+            produced = to_debruijn_safe(produced)
+            new_id = egraph.add_expr(produced)
+            if egraph.find(new_id) != egraph.find(identifier):
+                egraph.union(identifier, new_id)
+                changed = True
+        return changed
+
+    def __repr__(self) -> str:
+        return f"Rewrite({self.name})"
+
+
+def bidirectional(name: str, lhs: str | Expr, rhs: str | Expr,
+                  *conditions: Condition) -> list[Rewrite]:
+    """The two rules ``lhs -> rhs`` and ``rhs -> lhs`` (paper notation ``<->``)."""
+    return [
+        Rewrite.syntactic(f"{name}", lhs, rhs, *conditions),
+        Rewrite.syntactic(f"{name}-rev", rhs, lhs, *conditions),
+    ]
+
+
+# -- common side conditions ------------------------------------------------
+
+
+def var_independent_of(variable: str, *indices: int) -> Condition:
+    """Condition: the class bound to ``variable`` does not depend on the given indices.
+
+    This is how the paper's "``k, v`` not free in ``e``" side conditions are
+    checked: the e-graph's free-variable analysis gives, per class, the
+    indices its value can depend on.
+    """
+
+    def check(egraph: EGraph, subst: Subst) -> bool:
+        free = egraph.free_vars(subst[variable])
+        return all(index not in free for index in indices)
+
+    return check
+
+
+def vars_distinct(first: str, second: str) -> Condition:
+    """Condition: two pattern variables are bound to different e-classes."""
+
+    def check(egraph: EGraph, subst: Subst) -> bool:
+        return egraph.find(subst[first]) != egraph.find(subst[second])
+
+    return check

@@ -1,0 +1,113 @@
+"""The equality-saturation runner.
+
+Repeatedly applies a collection of rewrite rules to the e-graph until either
+no rule changes the graph anymore (*saturation*) or a limit is hit (number of
+iterations, number of e-nodes, wall-clock time) — exactly the loop Egg runs
+for the paper's optimizer.  The report exposes the metrics of Table 4:
+iterations, e-nodes, e-classes, memo size, and elapsed time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .egraph import EGraph
+from .rewrite import Rewrite
+
+
+@dataclass
+class IterationStats:
+    """Statistics of a single saturation iteration."""
+
+    index: int
+    matches: int
+    applied: int
+    nodes: int
+    classes: int
+
+
+@dataclass
+class RunnerReport:
+    """Outcome of one equality-saturation run (the Table 4 metrics)."""
+
+    iterations: int = 0
+    nodes: int = 0
+    classes: int = 0
+    memo: int = 0
+    time_ms: float = 0.0
+    stop_reason: str = "saturated"
+    per_iteration: list[IterationStats] = field(default_factory=list)
+
+    def as_row(self) -> dict:
+        return {
+            "time_ms": round(self.time_ms, 3),
+            "iterations": self.iterations,
+            "nodes": self.nodes,
+            "classes": self.classes,
+            "memos": self.memo,
+            "stop_reason": self.stop_reason,
+        }
+
+
+class Runner:
+    """Drives rule application until saturation or a limit is reached."""
+
+    def __init__(self, egraph: EGraph, rules: Sequence[Rewrite], *,
+                 iter_limit: int = 30, node_limit: int = 50_000,
+                 time_limit: float = 10.0, match_limit_per_rule: int = 2_000):
+        self.egraph = egraph
+        self.rules = list(rules)
+        self.iter_limit = iter_limit
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.match_limit_per_rule = match_limit_per_rule
+
+    def run(self) -> RunnerReport:
+        report = RunnerReport()
+        start = time.perf_counter()
+        for iteration in range(1, self.iter_limit + 1):
+            matches_found = 0
+            applied = 0
+            changed = False
+            for rule in self.rules:
+                matches = rule.search(self.egraph)
+                matches_found += len(matches)
+                for identifier, subst in matches[: self.match_limit_per_rule]:
+                    if rule.apply_match(self.egraph, identifier, subst):
+                        applied += 1
+                        changed = True
+            self.egraph.rebuild()
+            report.iterations = iteration
+            report.per_iteration.append(IterationStats(
+                index=iteration,
+                matches=matches_found,
+                applied=applied,
+                nodes=self.egraph.num_nodes,
+                classes=self.egraph.num_classes,
+            ))
+            elapsed = time.perf_counter() - start
+            if not changed:
+                report.stop_reason = "saturated"
+                break
+            if self.egraph.num_nodes >= self.node_limit:
+                report.stop_reason = "node_limit"
+                break
+            if elapsed >= self.time_limit:
+                report.stop_reason = "time_limit"
+                break
+        else:
+            report.stop_reason = "iter_limit"
+        report.nodes = self.egraph.num_nodes
+        report.classes = self.egraph.num_classes
+        report.memo = self.egraph.memo_size
+        report.time_ms = (time.perf_counter() - start) * 1_000.0
+        return report
+
+
+def saturate(expr_class: int, egraph: EGraph, rules: Iterable[Rewrite],
+             **limits) -> RunnerReport:
+    """Convenience wrapper: run the rules on an already-populated e-graph."""
+    runner = Runner(egraph, list(rules), **limits)
+    return runner.run()

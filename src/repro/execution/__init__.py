@@ -1,0 +1,19 @@
+"""Physical plan execution: interpretation and Python code generation."""
+
+from .codegen import CompiledPlan, compile_plan
+from .engine import (
+    ExecutionEngine,
+    PreparedPlan,
+    result_to_dense,
+    result_to_matrix,
+    result_to_scalar,
+    result_to_tensor3,
+    result_to_vector,
+)
+
+__all__ = [
+    "CompiledPlan", "compile_plan",
+    "ExecutionEngine", "PreparedPlan",
+    "result_to_dense", "result_to_matrix", "result_to_scalar",
+    "result_to_tensor3", "result_to_vector",
+]

@@ -1,0 +1,135 @@
+"""Execution of physical plans over the registered storage.
+
+Two backends are provided:
+
+* ``interpret`` — the reference interpreter (:mod:`repro.sdqlite.interpreter`),
+* ``compile``   — Python code generation (:mod:`repro.execution.codegen`),
+  the reproduction's stand-in for the paper's Julia backend.
+
+Both produce the same values (tested); the compiled backend is the default
+for benchmarks.  Results are returned as plain scalars / nested dicts and can
+be converted to NumPy arrays for comparison against the oracle baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..sdqlite.ast import Expr
+from ..sdqlite.debruijn import to_debruijn_safe
+from ..sdqlite.errors import ExecutionError
+from ..sdqlite.interpreter import evaluate
+from ..sdqlite.values import is_scalar, to_plain
+from .codegen import CompiledPlan, compile_plan
+
+
+@dataclass
+class ExecutionEngine:
+    """Executes physical plans against an environment of physical symbols."""
+
+    env: Mapping[str, Any]
+    backend: str = "compile"
+
+    @classmethod
+    def for_catalog(cls, catalog, backend: str = "compile") -> "ExecutionEngine":
+        return cls(env=catalog.globals(), backend=backend)
+
+    def prepare(self, plan: Expr) -> "PreparedPlan":
+        """Compile (or wrap) a plan for repeated execution."""
+        plan = to_debruijn_safe(plan)
+        if self.backend == "compile":
+            return PreparedPlan(plan, self.env, compiled=compile_plan(plan))
+        if self.backend == "interpret":
+            return PreparedPlan(plan, self.env, compiled=None)
+        raise ExecutionError(f"unknown execution backend {self.backend!r}")
+
+    def run(self, plan: Expr) -> Any:
+        """Prepare and execute a plan once."""
+        return self.prepare(plan).run()
+
+
+@dataclass
+class PreparedPlan:
+    """A plan bound to an environment, ready to execute."""
+
+    plan: Expr
+    env: Mapping[str, Any]
+    compiled: CompiledPlan | None = None
+
+    def run(self) -> Any:
+        if self.compiled is not None:
+            return self.compiled(self.env)
+        return evaluate(self.plan, self.env)
+
+    @property
+    def source(self) -> str:
+        """Generated Python source (compiled backend only)."""
+        if self.compiled is None:
+            return "<interpreted>"
+        return self.compiled.source
+
+
+# ---------------------------------------------------------------------------
+# result conversion helpers
+# ---------------------------------------------------------------------------
+
+
+def result_to_scalar(result: Any) -> float:
+    """Interpret an execution result as a scalar."""
+    if is_scalar(result):
+        return float(result)
+    plain = to_plain(result)
+    if not plain:
+        return 0.0
+    raise ExecutionError("expected a scalar result but got a dictionary")
+
+
+def result_to_vector(result: Any, size: int) -> np.ndarray:
+    """Interpret an execution result as a dense vector of the given size."""
+    out = np.zeros(size, dtype=np.float64)
+    if is_scalar(result):
+        return out
+    for key, value in (result.items() if hasattr(result, "items") else []):
+        out[int(key)] = float(value)
+    return out
+
+
+def result_to_matrix(result: Any, shape: tuple[int, int]) -> np.ndarray:
+    """Interpret an execution result as a dense matrix."""
+    out = np.zeros(shape, dtype=np.float64)
+    if is_scalar(result):
+        return out
+    for i, row in result.items():
+        if is_scalar(row):
+            continue
+        for j, value in row.items():
+            out[int(i), int(j)] = float(value)
+    return out
+
+
+def result_to_tensor3(result: Any, shape: tuple[int, int, int]) -> np.ndarray:
+    """Interpret an execution result as a dense rank-3 tensor."""
+    out = np.zeros(shape, dtype=np.float64)
+    if is_scalar(result):
+        return out
+    for i, fiber in result.items():
+        for j, row in fiber.items():
+            for k, value in row.items():
+                out[int(i), int(j), int(k)] = float(value)
+    return out
+
+
+def result_to_dense(result: Any, shape: tuple[int, ...]) -> np.ndarray | float:
+    """Dispatch on the output rank."""
+    if len(shape) == 0:
+        return result_to_scalar(result)
+    if len(shape) == 1:
+        return result_to_vector(result, shape[0])
+    if len(shape) == 2:
+        return result_to_matrix(result, shape)  # type: ignore[arg-type]
+    if len(shape) == 3:
+        return result_to_tensor3(result, shape)  # type: ignore[arg-type]
+    raise ExecutionError(f"unsupported output rank {len(shape)}")

@@ -1,0 +1,18 @@
+"""Tensor programs (kernels) from the paper's evaluation."""
+
+from .programs import (
+    BATAX,
+    BATAX_NESTED,
+    KERNELS,
+    Kernel,
+    MMM,
+    MTTKRP,
+    SUM_MMM,
+    TTM,
+    get_kernel,
+)
+
+__all__ = [
+    "BATAX", "BATAX_NESTED", "KERNELS", "Kernel", "MMM", "MTTKRP", "SUM_MMM", "TTM",
+    "get_kernel",
+]

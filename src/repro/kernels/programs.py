@@ -1,0 +1,122 @@
+"""The tensor programs (kernels) evaluated in the paper (Table 3).
+
+=========  =====================================================================
+Kernel     Definition
+=========  =====================================================================
+MMM        ``Q(i, j)   = Σ_k   A(i, k) · B(k, j)``
+ΣMMM       ``Q()       = Σ_ijk A(i, k) · B(k, j)``
+BATAX      ``Q(j)      = Σ_ik  β · A(i, j) · A(i, k) · X(k)``
+TTM        ``Q(i, j, k) = Σ_l  A(i, j, l) · B(k, l)``
+MTTKRP     ``Q(i, j)   = Σ_kl  A(i, k, l) · B(k, j) · C(l, j)``
+=========  =====================================================================
+
+Each kernel is provided as SDQLite source text over logical tensor names and
+as a parsed AST; the BATAX kernel is also provided in the nested
+"per-row" form used by the rule-ablation study of Sec. 6.3, which iterates
+the row of ``A`` twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..sdqlite.ast import Expr
+from ..sdqlite.parser import parse_expr
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named tensor program over logical tensor symbols."""
+
+    name: str
+    source: str
+    tensor_names: tuple[str, ...]
+    scalar_names: tuple[str, ...] = ()
+    output_rank: int = 0
+    description: str = ""
+
+    @property
+    def program(self) -> Expr:
+        return _parse(self.source)
+
+
+@lru_cache(maxsize=None)
+def _parse(source: str) -> Expr:
+    return parse_expr(source)
+
+
+MMM = Kernel(
+    name="MMM",
+    source="sum(<(i,j), a> in A, <(j,k), b> in B) { (i, k) -> a * b }",
+    tensor_names=("A", "B"),
+    output_rank=2,
+    description="matrix-matrix multiplication",
+)
+
+SUM_MMM = Kernel(
+    name="SUMMM",
+    source="sum(<(i,j), a> in A, <(j,k), b> in B) { () -> a * b }",
+    tensor_names=("A", "B"),
+    output_rank=0,
+    description="summation over a matrix-matrix multiplication",
+)
+
+BATAX = Kernel(
+    name="BATAX",
+    source=(
+        "sum(<(i,j), a1> in A, <(i2,k), a2> in A, <k2, x> in X) "
+        "if (i == i2) then if (k == k2) then { j -> beta * a1 * a2 * x }"
+    ),
+    tensor_names=("A", "X"),
+    scalar_names=("beta",),
+    output_rank=1,
+    description="beta * A^T A x (studied in Nelson et al. / the paper Sec. 6)",
+)
+
+#: The nested per-row form of BATAX used by the ablation study (Sec. 6.3).
+BATAX_NESTED = Kernel(
+    name="BATAX-nested",
+    source=(
+        "sum(<i, Ai> in A) sum(<j, Aij> in Ai) sum(<k, Aik> in Ai) "
+        "{ j -> beta * Aij * Aik * X(k) }"
+    ),
+    tensor_names=("A", "X"),
+    scalar_names=("beta",),
+    output_rank=1,
+    description="BATAX written against the row-nested view of A",
+)
+
+TTM = Kernel(
+    name="TTM",
+    source="sum(<(i,j,l), a> in A, <(k,l2), b> in B) if (l == l2) then { (i, j, k) -> a * b }",
+    tensor_names=("A", "B"),
+    output_rank=3,
+    description="tensor-times-matrix",
+)
+
+MTTKRP = Kernel(
+    name="MTTKRP",
+    source=(
+        "sum(<(i,k,l), a> in A, <(k2,j), b> in B, <(l2,j2), c> in C) "
+        "if (k == k2) then if (l == l2) then if (j == j2) then { (i, j) -> a * b * c }"
+    ),
+    tensor_names=("A", "B", "C"),
+    output_rank=2,
+    description="matricized tensor times Khatri-Rao product",
+)
+
+
+#: All kernels keyed by name (the benchmark harness iterates this).
+KERNELS: dict[str, Kernel] = {
+    kernel.name: kernel
+    for kernel in (MMM, SUM_MMM, BATAX, BATAX_NESTED, TTM, MTTKRP)
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name (case-insensitive)."""
+    for key, kernel in KERNELS.items():
+        if key.lower() == name.lower():
+            return kernel
+    raise KeyError(f"unknown kernel {name!r}; available: {', '.join(KERNELS)}")

@@ -1,0 +1,457 @@
+"""Abstract syntax tree for the SDQLite tensor calculus.
+
+SDQLite (Sec. 3.2 of the paper) is a small calculus over *semiring
+dictionaries*: finite maps from integer keys to values, where values are
+scalars or further dictionaries and missing keys default to 0.  The same
+language is used for three purposes:
+
+* writing tensor programs (``sum(<(i,j),a> in A, ...) {(i,k) -> ...}``),
+* writing tensor storage mappings (Sec. 4),
+* serving as the optimizer's intermediate representation.
+
+Two variable representations coexist:
+
+* **Named form** — produced by the parser.  Binders (:class:`Let`,
+  :class:`Sum`, :class:`Merge`) carry variable names and occurrences are
+  :class:`Var` nodes.
+* **Nameless (De Bruijn) form** — used by the optimizer and the e-graph
+  (Sec. 5.4 of the paper).  Occurrences are :class:`Idx` nodes; the binder
+  names are kept only as pretty-printing hints and are ignored by equality
+  and hashing.
+
+Binder arities (innermost index is 0):
+
+========== =============== ==========================================
+node       binds           indices inside the body
+========== =============== ==========================================
+``Let``    1 variable      ``%0`` = the bound value
+``Sum``    2 variables     ``%0`` = dictionary value, ``%1`` = key
+``Merge``  3 variables     ``%0`` = value, ``%1`` = key2, ``%2`` = key1
+========== =============== ==========================================
+
+All nodes are frozen dataclasses, therefore hashable and usable as keys in
+memo tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Sequence, Union
+
+Number = Union[int, float, bool]
+
+#: Comparison operators accepted by :class:`Cmp`.
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: Physical annotations accepted by :class:`DictExpr` (Sec. 5.6).
+DICT_ANNOTATIONS = (None, "dense", "hash")
+
+
+class Expr:
+    """Base class of all SDQLite expression nodes."""
+
+    __slots__ = ()
+
+    # The arithmetic sugar below makes building programs in Python pleasant:
+    # ``a * b + c`` produces the corresponding AST.
+    def __add__(self, other: "Expr | Number") -> "Add":
+        return Add(self, lift(other))
+
+    def __radd__(self, other: "Expr | Number") -> "Add":
+        return Add(lift(other), self)
+
+    def __mul__(self, other: "Expr | Number") -> "Mul":
+        return Mul(self, lift(other))
+
+    def __rmul__(self, other: "Expr | Number") -> "Mul":
+        return Mul(lift(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "Sub":
+        return Sub(self, lift(other))
+
+    def __rsub__(self, other: "Expr | Number") -> "Sub":
+        return Sub(lift(other), self)
+
+    def __neg__(self) -> "Neg":
+        return Neg(self)
+
+    def __call__(self, *keys: "Expr | Number") -> "Expr":
+        """``e(i)`` / ``e(i, j)`` — curried dictionary lookup (Table 1)."""
+        out: Expr = self
+        for key in keys:
+            out = Get(out, lift(key))
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        from .pretty import pretty
+
+        return pretty(self)
+
+
+def lift(value: "Expr | Number") -> Expr:
+    """Wrap a Python number into a :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return Const(value)
+    raise TypeError(f"cannot lift {value!r} into an SDQLite expression")
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A scalar literal (integer, real, or boolean)."""
+
+    value: Number
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, float, bool)):
+            raise TypeError(f"Const value must be a number, got {type(self.value)}")
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """A global symbol: a physical array, hash-map, trie, scalar, or a logical tensor name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named variable occurrence (surface / named form only)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Idx(Expr):
+    """A De Bruijn index occurrence ``%k`` (nameless form only)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("De Bruijn index must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Scalar operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """``e1 + e2`` — semiring addition of scalars or dictionaries."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    """``e1 - e2`` — subtraction (scalars, or element-wise on dictionaries)."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """``e1 * e2`` — semiring multiplication; overloaded for scalar × dictionary."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Div(Expr):
+    """``e1 / e2`` — scalar division."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """A comparison ``e1 <op> e2`` returning a boolean."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Boolean conjunction ``e1 && e2``."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Boolean disjunction ``e1 || e2``."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation ``!e``."""
+
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Dictionary constructs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DictExpr(Expr):
+    """A singleton dictionary ``{ key -> value }``.
+
+    ``annot`` is the physical annotation chosen by the optimizer
+    (``None`` = logical, ``"dense"`` or ``"hash"``, Sec. 5.6); ``unique``
+    records the ``@unique`` constraint asserting that, inside a ``sum``, all
+    produced keys are distinct (Sec. 5.2).
+    """
+
+    key: Expr
+    value: Expr
+    annot: str | None = None
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if self.annot not in DICT_ANNOTATIONS:
+            raise ValueError(f"unknown dictionary annotation {self.annot!r}")
+
+
+@dataclass(frozen=True)
+class Get(Expr):
+    """Dictionary lookup ``e(key)``."""
+
+    target: Expr
+    key: Expr
+
+
+@dataclass(frozen=True)
+class RangeExpr(Expr):
+    """The range dictionary ``lo:hi`` = ``{lo -> lo, ..., hi-1 -> hi-1}``."""
+
+    lo: Expr
+    hi: Expr
+
+
+@dataclass(frozen=True)
+class SliceGet(Expr):
+    """The sub-array ``e(lo:hi)`` = ``{lo -> e(lo), ..., hi-1 -> e(hi-1)}``.
+
+    Used by segmented-array storage formats such as CSR / CSF.
+    """
+
+    target: Expr
+    lo: Expr
+    hi: Expr
+
+
+@dataclass(frozen=True)
+class IfThen(Expr):
+    """``if (cond) then body`` — returns ``body`` or the zero of its type."""
+
+    cond: Expr
+    then: Expr
+
+
+# ---------------------------------------------------------------------------
+# Binders
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """``let x = value in body``; ``body`` sees the bound value as ``%0``."""
+
+    value: Expr
+    body: Expr
+    name: str | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class Sum(Expr):
+    """``sum(<k, v> in source) body``.
+
+    Iterates over the key/value pairs of ``source`` and sums the values of
+    ``body``; inside ``body`` the key is ``%1`` and the value ``%0``.
+    """
+
+    source: Expr
+    body: Expr
+    key_name: str | None = field(default=None, compare=False)
+    val_name: str | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class Merge(Expr):
+    """``merge(<k1, k2, v> in <left, right>) body`` — the physical sort-merge operator.
+
+    Semantically equal to
+    ``sum(<k1,v1> in left, <k2,v2> in right) if (v1 == v2) then body`` with
+    ``v`` bound to the common value (Sec. 5.6 / rule F4).  Inside ``body``,
+    ``%2`` = k1, ``%1`` = k2, ``%0`` = the shared value.
+    """
+
+    left: Expr
+    right: Expr
+    body: Expr
+    key1_name: str | None = field(default=None, compare=False)
+    key2_name: str | None = field(default=None, compare=False)
+    val_name: str | None = field(default=None, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal helpers
+# ---------------------------------------------------------------------------
+
+#: Children (in order) per node type, as attribute names.
+_CHILD_FIELDS: dict[type, tuple[str, ...]] = {
+    Const: (),
+    Sym: (),
+    Var: (),
+    Idx: (),
+    Add: ("left", "right"),
+    Sub: ("left", "right"),
+    Mul: ("left", "right"),
+    Div: ("left", "right"),
+    Neg: ("operand",),
+    Cmp: ("left", "right"),
+    And: ("left", "right"),
+    Or: ("left", "right"),
+    Not: ("operand",),
+    DictExpr: ("key", "value"),
+    Get: ("target", "key"),
+    RangeExpr: ("lo", "hi"),
+    SliceGet: ("target", "lo", "hi"),
+    IfThen: ("cond", "then"),
+    Let: ("value", "body"),
+    Sum: ("source", "body"),
+    Merge: ("left", "right", "body"),
+}
+
+#: Number of variables each child position brings into scope.
+_BINDER_ARITY: dict[type, tuple[int, ...]] = {
+    Let: (0, 1),
+    Sum: (0, 2),
+    Merge: (0, 0, 3),
+}
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """Return the direct sub-expressions of ``expr`` in a fixed order."""
+    names = _CHILD_FIELDS[type(expr)]
+    return tuple(getattr(expr, name) for name in names)
+
+
+def binder_arities(expr: Expr) -> tuple[int, ...]:
+    """Return, for each child, the number of variables bound over that child."""
+    arity = _BINDER_ARITY.get(type(expr))
+    if arity is not None:
+        return arity
+    return (0,) * len(_CHILD_FIELDS[type(expr)])
+
+
+def rebuild(expr: Expr, new_children: Sequence[Expr]) -> Expr:
+    """Create a node equal to ``expr`` but with ``new_children`` as sub-expressions.
+
+    Non-child payload fields (constants, names, annotations) are preserved.
+    """
+    names = _CHILD_FIELDS[type(expr)]
+    if len(names) != len(new_children):
+        raise ValueError(
+            f"{type(expr).__name__} expects {len(names)} children, got {len(new_children)}"
+        )
+    kwargs = {}
+    for f in fields(expr):
+        if f.name in names:
+            kwargs[f.name] = new_children[names.index(f.name)]
+        else:
+            kwargs[f.name] = getattr(expr, f.name)
+    return type(expr)(**kwargs)
+
+
+def postorder(expr: Expr) -> Iterator[Expr]:
+    """Yield every node of ``expr`` in post-order (children before parents)."""
+    for child in children(expr):
+        yield from postorder(child)
+    yield expr
+
+
+def node_count(expr: Expr) -> int:
+    """Number of AST nodes in ``expr``."""
+    return sum(1 for _ in postorder(expr))
+
+
+def expr_depth(expr: Expr) -> int:
+    """Height of the AST (a leaf has depth 1)."""
+    kids = children(expr)
+    if not kids:
+        return 1
+    return 1 + max(expr_depth(child) for child in kids)
+
+
+def contains(expr: Expr, predicate) -> bool:
+    """True when any node of ``expr`` satisfies ``predicate``."""
+    return any(predicate(node) for node in postorder(expr))
+
+
+def symbols(expr: Expr) -> set[str]:
+    """The set of global symbol names referenced by ``expr``."""
+    return {node.name for node in postorder(expr) if isinstance(node, Sym)}
+
+
+# ---------------------------------------------------------------------------
+# Convenience smart constructors used by programs and tests
+# ---------------------------------------------------------------------------
+
+
+def singleton(key: Expr | Number, value: Expr | Number, *, unique: bool = False,
+              annot: str | None = None) -> DictExpr:
+    """Build ``{ key -> value }``."""
+    return DictExpr(lift(key), lift(value), annot=annot, unique=unique)
+
+
+def scalar_dict(value: Expr | Number) -> Expr:
+    """Build ``{ () -> value }``: with 0-dimensional keys this is the value itself."""
+    return lift(value)
+
+
+def eq(left: Expr | Number, right: Expr | Number) -> Cmp:
+    """Build ``left == right``."""
+    return Cmp("==", lift(left), lift(right))
+
+
+def if_then(cond: Expr, then: Expr | Number) -> IfThen:
+    """Build ``if (cond) then then``."""
+    return IfThen(cond, lift(then))
+
+
+ZERO = Const(0)
+ONE = Const(1)
+TRUE = Const(True)
+FALSE = Const(False)

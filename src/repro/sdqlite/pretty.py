@@ -1,0 +1,170 @@
+"""Pretty printer for SDQLite expressions.
+
+Produces text close to the concrete syntax used in the paper, e.g.::
+
+    sum(<i, v> in A) if (v > 0) then { i -> 5 * v }
+
+Named-form expressions print their variable names; nameless expressions are
+first converted back to named form (fresh names ``v1, v2, ...``).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Add,
+    And,
+    Cmp,
+    Const,
+    DictExpr,
+    Div,
+    Expr,
+    Get,
+    IfThen,
+    Idx,
+    Let,
+    Merge,
+    Mul,
+    Neg,
+    Not,
+    Or,
+    RangeExpr,
+    SliceGet,
+    Sub,
+    Sum,
+    Sym,
+    Var,
+)
+from .debruijn import to_named
+
+# Precedence levels: higher binds tighter.
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_CMP = 3
+_PREC_ADD = 4
+_PREC_MUL = 5
+_PREC_UNARY = 6
+_PREC_ATOM = 7
+
+
+def pretty(expr: Expr, *, resolve_indices: bool = True, indent: bool = False) -> str:
+    """Render ``expr`` as SDQLite source text.
+
+    Parameters
+    ----------
+    resolve_indices:
+        When True (default) De Bruijn indices are converted to fresh names.
+        When False, indices print as ``%k``.
+    indent:
+        When True, binders start on new, indented lines (useful for long
+        plans); otherwise everything is printed on one line.
+    """
+    if resolve_indices and _has_idx(expr):
+        expr = to_named(expr)
+    printer = _Printer(indent=indent)
+    return printer.emit(expr, 0, 0)
+
+
+def _has_idx(expr: Expr) -> bool:
+    from .ast import postorder
+
+    return any(isinstance(node, Idx) for node in postorder(expr))
+
+
+class _Printer:
+    def __init__(self, indent: bool = False):
+        self.indent = indent
+
+    def _nl(self, depth: int) -> str:
+        if not self.indent:
+            return " "
+        return "\n" + "  " * depth
+
+    def emit(self, e: Expr, prec: int, depth: int) -> str:
+        text, my_prec = self._emit(e, depth)
+        if my_prec < prec:
+            return f"({text})"
+        return text
+
+    def _emit(self, e: Expr, depth: int) -> tuple[str, int]:
+        if isinstance(e, Const):
+            if isinstance(e.value, bool):
+                return ("true" if e.value else "false"), _PREC_ATOM
+            return repr(e.value), _PREC_ATOM
+        if isinstance(e, Sym):
+            return e.name, _PREC_ATOM
+        if isinstance(e, Var):
+            return e.name, _PREC_ATOM
+        if isinstance(e, Idx):
+            return f"%{e.index}", _PREC_ATOM
+        if isinstance(e, Add):
+            return f"{self.emit(e.left, _PREC_ADD, depth)} + {self.emit(e.right, _PREC_ADD + 1, depth)}", _PREC_ADD
+        if isinstance(e, Sub):
+            return f"{self.emit(e.left, _PREC_ADD, depth)} - {self.emit(e.right, _PREC_ADD + 1, depth)}", _PREC_ADD
+        if isinstance(e, Mul):
+            return f"{self.emit(e.left, _PREC_MUL, depth)} * {self.emit(e.right, _PREC_MUL + 1, depth)}", _PREC_MUL
+        if isinstance(e, Div):
+            return f"{self.emit(e.left, _PREC_MUL, depth)} / {self.emit(e.right, _PREC_MUL + 1, depth)}", _PREC_MUL
+        if isinstance(e, Neg):
+            return f"-{self.emit(e.operand, _PREC_UNARY, depth)}", _PREC_UNARY
+        if isinstance(e, Not):
+            return f"!{self.emit(e.operand, _PREC_UNARY, depth)}", _PREC_UNARY
+        if isinstance(e, Cmp):
+            return (
+                f"{self.emit(e.left, _PREC_CMP + 1, depth)} {e.op} {self.emit(e.right, _PREC_CMP + 1, depth)}",
+                _PREC_CMP,
+            )
+        if isinstance(e, And):
+            return f"{self.emit(e.left, _PREC_AND, depth)} && {self.emit(e.right, _PREC_AND + 1, depth)}", _PREC_AND
+        if isinstance(e, Or):
+            return f"{self.emit(e.left, _PREC_OR, depth)} || {self.emit(e.right, _PREC_OR + 1, depth)}", _PREC_OR
+        if isinstance(e, DictExpr):
+            prefix = ""
+            if e.unique:
+                prefix += "@unique "
+            if e.annot:
+                prefix += f"@{e.annot} "
+            return (
+                f"{{ {prefix}{self.emit(e.key, 0, depth)} -> {self.emit(e.value, 0, depth)} }}",
+                _PREC_ATOM,
+            )
+        if isinstance(e, Get):
+            return f"{self.emit(e.target, _PREC_ATOM, depth)}({self.emit(e.key, 0, depth)})", _PREC_ATOM
+        if isinstance(e, RangeExpr):
+            return f"{self.emit(e.lo, _PREC_ATOM, depth)}:{self.emit(e.hi, _PREC_ATOM, depth)}", _PREC_UNARY
+        if isinstance(e, SliceGet):
+            return (
+                f"{self.emit(e.target, _PREC_ATOM, depth)}"
+                f"({self.emit(e.lo, _PREC_ATOM, depth)}:{self.emit(e.hi, _PREC_ATOM, depth)})",
+                _PREC_ATOM,
+            )
+        if isinstance(e, IfThen):
+            return (
+                f"if ({self.emit(e.cond, 0, depth)}) then {self.emit(e.then, 0, depth)}",
+                0,
+            )
+        if isinstance(e, Let):
+            name = e.name or "_x"
+            return (
+                f"let {name} = {self.emit(e.value, 0, depth)} in{self._nl(depth + 1)}"
+                f"{self.emit(e.body, 0, depth + 1)}",
+                0,
+            )
+        if isinstance(e, Sum):
+            key = e.key_name or "_k"
+            val = e.val_name or "_v"
+            return (
+                f"sum(<{key}, {val}> in {self.emit(e.source, 0, depth)})"
+                f"{self._nl(depth + 1)}{self.emit(e.body, 0, depth + 1)}",
+                0,
+            )
+        if isinstance(e, Merge):
+            k1 = e.key1_name or "_k1"
+            k2 = e.key2_name or "_k2"
+            val = e.val_name or "_v"
+            return (
+                f"merge(<{k1}, {k2}, {val}> in <{self.emit(e.left, 0, depth)}, "
+                f"{self.emit(e.right, 0, depth)}>)"
+                f"{self._nl(depth + 1)}{self.emit(e.body, 0, depth + 1)}",
+                0,
+            )
+        raise TypeError(f"cannot pretty-print {type(e).__name__}")

@@ -1,0 +1,37 @@
+"""Physical data model, flexible storage formats, and Tensor Storage Mappings."""
+
+from .catalog import Catalog
+from .formats import (
+    COOFormat,
+    CSCFormat,
+    CSFFormat,
+    CSRFormat,
+    DCSRFormat,
+    DenseFormat,
+    DOKFormat,
+    FORMATS,
+    StorageFormat,
+    TrieFormat,
+    build_format,
+)
+from .physical import (
+    KIND_ARRAY,
+    KIND_HASH,
+    KIND_SCALAR,
+    KIND_TRIE,
+    PhysicalArray,
+    PhysicalHashMap,
+    PhysicalScalar,
+    PhysicalTrie,
+    collection_kind,
+)
+from .special import BandFormat, LowerTriangularFormat, ZOrderFormat, morton_index
+
+__all__ = [
+    "Catalog",
+    "COOFormat", "CSCFormat", "CSFFormat", "CSRFormat", "DCSRFormat", "DenseFormat",
+    "DOKFormat", "FORMATS", "StorageFormat", "TrieFormat", "build_format",
+    "KIND_ARRAY", "KIND_HASH", "KIND_SCALAR", "KIND_TRIE",
+    "PhysicalArray", "PhysicalHashMap", "PhysicalScalar", "PhysicalTrie", "collection_kind",
+    "BandFormat", "LowerTriangularFormat", "ZOrderFormat", "morton_index",
+]

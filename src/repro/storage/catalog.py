@@ -1,0 +1,112 @@
+"""The catalog: registered tensors, their formats, statistics and globals.
+
+The catalog plays the role of the "Data Admin" side of Fig. 2 in the paper:
+it holds, for every logical tensor, the chosen storage format (and therefore
+its physical symbols and Tensor Storage Mapping) plus the data statistics the
+cost-based optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..sdqlite.ast import Expr
+from ..sdqlite.errors import StorageError
+from .formats import StorageFormat
+from .physical import KIND_SCALAR
+
+
+@dataclass
+class Catalog:
+    """A collection of named tensors stored in explicit formats."""
+
+    tensors: dict[str, StorageFormat] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+
+    # -- registration ---------------------------------------------------------
+
+    def add(self, fmt: StorageFormat) -> "Catalog":
+        """Register a tensor; its logical name must be unique in the catalog."""
+        if fmt.name in self.tensors:
+            raise StorageError(f"tensor {fmt.name!r} is already registered")
+        self.tensors[fmt.name] = fmt
+        return self
+
+    def add_scalar(self, name: str, value: float) -> "Catalog":
+        """Register a global scalar (e.g. the β of the BATAX kernel)."""
+        self.scalars[name] = value
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tensors or name in self.scalars
+
+    def __getitem__(self, name: str) -> StorageFormat:
+        return self.tensors[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tensors)
+
+    # -- views consumed by the optimizer / execution engine --------------------
+
+    def globals(self) -> dict[str, Any]:
+        """All physical symbols (arrays, hash-maps, tries, sizes) plus scalars."""
+        env: dict[str, Any] = dict(self.scalars)
+        for fmt in self.tensors.values():
+            for symbol, value in fmt.physical().items():
+                if symbol in env:
+                    raise StorageError(f"physical symbol {symbol!r} declared twice")
+                env[symbol] = value
+        return env
+
+    def mappings(self) -> dict[str, Expr]:
+        """Tensor Storage Mappings (named-form ASTs) keyed by tensor name."""
+        return {name: fmt.mapping() for name, fmt in self.tensors.items()}
+
+    def mapping_sources(self) -> dict[str, str]:
+        """Tensor Storage Mappings as SDQLite source text."""
+        return {name: fmt.mapping_source() for name, fmt in self.tensors.items()}
+
+    def physical_kinds(self) -> dict[str, str]:
+        """Collection kind per physical symbol (array / hash / trie / scalar)."""
+        kinds: dict[str, str] = {name: KIND_SCALAR for name in self.scalars}
+        for fmt in self.tensors.values():
+            kinds.update(fmt.physical_kinds())
+        return kinds
+
+    def tensor_profiles(self) -> dict[str, tuple]:
+        """Nested cardinality profile per logical tensor."""
+        return {name: fmt.profile() for name, fmt in self.tensors.items()}
+
+    def segment_profiles(self) -> dict[str, float]:
+        """Average segment length per segmented physical array."""
+        profiles: dict[str, float] = {}
+        for fmt in self.tensors.values():
+            profiles.update(fmt.segment_profiles())
+        return profiles
+
+    def scalar_values(self) -> dict[str, float]:
+        """Integer/real valued globals (dimension sizes, nnz counters, scalars)."""
+        values: dict[str, float] = dict(self.scalars)
+        for fmt in self.tensors.values():
+            for symbol, value in fmt.physical().items():
+                if isinstance(value, (int, float)):
+                    values[symbol] = value
+        return values
+
+    def declarations(self) -> str:
+        """The full DDL (CREATE statements) for everything in the catalog."""
+        blocks = [fmt.declarations() for fmt in self.tensors.values()]
+        for name in self.scalars:
+            blocks.append(f"CREATE real SCALAR {name};")
+        return "\n\n".join(blocks)
+
+    def describe(self) -> str:
+        """One line per tensor: name, format, shape, nnz, density."""
+        lines = []
+        for name, fmt in sorted(self.tensors.items()):
+            dims = "x".join(str(s) for s in fmt.shape)
+            lines.append(
+                f"{name}: {fmt.format_name} {dims} nnz={fmt.nnz} density={fmt.density:.2e}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Conversions between the repro storage formats, NumPy, and SciPy sparse.
+
+These are used by the baselines (SciPy / NumPy execute the same data) and by
+the dataset loaders, which generate data once and hand it to every system in
+the same benchmark run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..sdqlite.errors import StorageError
+from .formats import COOFormat, CSCFormat, CSRFormat, DenseFormat, StorageFormat, build_format
+
+
+def from_scipy(kind: str, name: str, matrix: sp.spmatrix) -> StorageFormat:
+    """Build a storage format from any SciPy sparse matrix."""
+    coo = matrix.tocoo()
+    coords = np.stack([coo.row, coo.col], axis=1)
+    from .formats import FORMATS
+
+    try:
+        cls = FORMATS[kind]
+    except KeyError as exc:
+        raise StorageError(f"unknown storage format {kind!r}") from exc
+    return cls.from_coo(name, coords, coo.data, coo.shape)
+
+
+def to_scipy_csr(fmt: StorageFormat) -> sp.csr_matrix:
+    """Convert a rank-2 format to a SciPy CSR matrix."""
+    if len(fmt.shape) != 2:
+        raise StorageError("to_scipy_csr requires a rank-2 tensor")
+    if isinstance(fmt, CSRFormat) and not isinstance(fmt, CSCFormat):
+        return sp.csr_matrix((fmt.val, fmt.idx, fmt.pos), shape=fmt.shape)
+    return sp.csr_matrix(fmt.to_dense())
+
+
+def to_scipy_csc(fmt: StorageFormat) -> sp.csc_matrix:
+    """Convert a rank-2 format to a SciPy CSC matrix."""
+    if len(fmt.shape) != 2:
+        raise StorageError("to_scipy_csc requires a rank-2 tensor")
+    return sp.csc_matrix(fmt.to_dense()) if fmt.nnz else sp.csc_matrix(fmt.shape)
+
+
+def to_dense_vector(fmt: StorageFormat) -> np.ndarray:
+    """Convert a rank-1 format to a dense NumPy vector."""
+    if len(fmt.shape) != 1:
+        raise StorageError("to_dense_vector requires a rank-1 tensor")
+    return fmt.to_dense()
+
+
+def coo_arrays(fmt: StorageFormat) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(coords, values)`` for any format (via a COO round-trip)."""
+    if isinstance(fmt, COOFormat):
+        return fmt.coords.copy(), fmt.values.copy()
+    dense = fmt.to_dense()
+    coords = np.argwhere(dense != 0)
+    values = dense[tuple(coords.T)] if coords.size else np.empty(0)
+    return coords.astype(np.int64), np.asarray(values, dtype=np.float64)
+
+
+def as_relation(fmt: StorageFormat) -> np.ndarray:
+    """Encode the tensor as a relation: one row per non-zero, columns = coords + value.
+
+    This is the representation used by the DuckDB-like relational baseline
+    (tensors as relations, Sec. 2 of the paper).
+    """
+    coords, values = coo_arrays(fmt)
+    if coords.size == 0:
+        return np.zeros((0, len(fmt.shape) + 1))
+    return np.column_stack([coords.astype(np.float64), values])
+
+
+def densify(fmt: StorageFormat) -> DenseFormat:
+    """Re-store any tensor densely (used by the dense-vs-sparse sweeps of Fig. 8)."""
+    return DenseFormat(fmt.name, fmt.to_dense())
+
+
+def restore(fmt: StorageFormat, kind: str) -> StorageFormat:
+    """Re-store a tensor in another format, keeping its name and contents."""
+    return build_format(kind, fmt.name, fmt.to_dense())

@@ -1,0 +1,708 @@
+"""Flexible tensor storage formats and their Tensor Storage Mappings.
+
+Each format class knows three things about a tensor:
+
+1. **Physical layout** — the arrays / hash-maps / tries that hold the data
+   (Sec. 4 of the paper, ``CREATE ARRAY`` etc.).  Exposed by
+   :meth:`StorageFormat.physical` as a mapping from symbol names to runtime
+   values consumable by the interpreter and the execution engine.
+2. **Storage mapping** — an SDQLite expression from the physical symbols to
+   the logical tensor (``CREATE TENSOR ... AS ...``).  Exposed as source text
+   (:meth:`mapping_source`) and as a parsed AST (:meth:`mapping`).
+3. **Statistics** — a nested cardinality profile and the collection kind of
+   every physical symbol, which the cost model uses (Sec. 5.5 / 5.7).
+
+Formats implemented here: dense (rank 1–3), COO, CSR, CSC, DCSR, CSF (rank 3),
+DOK (hash-map), trie; the special formats of Sec. 4 (lower-triangular, band,
+Z-order curve) live in :mod:`repro.storage.special`.
+
+All formats can be built from a dense NumPy array (:meth:`from_dense`) or
+from coordinate data (:meth:`from_coo`), and can reconstruct the dense tensor
+(:meth:`to_dense`) — the round-trip is heavily exercised by the test suite,
+together with the *semantic* round-trip: evaluating the storage mapping with
+the reference interpreter must reproduce the logical tensor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..sdqlite.ast import Expr
+from ..sdqlite.errors import StorageError
+from ..sdqlite.parser import parse_expr
+from .physical import (
+    KIND_ARRAY,
+    KIND_HASH,
+    KIND_SCALAR,
+    KIND_TRIE,
+    PhysicalHashMap,
+    PhysicalTrie,
+)
+
+Profile = tuple  # nested (count, child) tuples ending in "s"; see profile() docstrings
+
+
+def coo_from_dense(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(coords, values)`` of the non-zero entries in row-major order."""
+    coords = np.argwhere(array != 0)
+    values = array[tuple(coords.T)] if coords.size else np.empty(0, dtype=array.dtype)
+    return coords.astype(np.int64), np.asarray(values, dtype=np.float64)
+
+
+class StorageFormat(ABC):
+    """Base class of all storage formats."""
+
+    #: short identifier used in benchmark tables, e.g. ``"csr"``.
+    format_name: str = "abstract"
+
+    def __init__(self, name: str, shape: tuple[int, ...]):
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, name: str, array: np.ndarray, **kwargs) -> "StorageFormat":
+        """Build the format from a dense NumPy array."""
+        array = np.asarray(array, dtype=np.float64)
+        coords, values = coo_from_dense(array)
+        return cls.from_coo(name, coords, values, array.shape, **kwargs)
+
+    @classmethod
+    @abstractmethod
+    def from_coo(cls, name: str, coords: np.ndarray, values: np.ndarray,
+                 shape: Sequence[int], **kwargs) -> "StorageFormat":
+        """Build the format from coordinate data (``coords`` is nnz × rank)."""
+
+    # -- required protocol ---------------------------------------------------
+
+    @property
+    @abstractmethod
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+
+    @abstractmethod
+    def physical(self) -> dict[str, Any]:
+        """Mapping from physical symbol names to runtime values."""
+
+    @abstractmethod
+    def mapping_source(self) -> str:
+        """The Tensor Storage Mapping as SDQLite source text."""
+
+    @abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense tensor (for verification)."""
+
+    @abstractmethod
+    def profile(self) -> Profile:
+        """Nested cardinality profile ``(n1, (n2, ... 's'))`` of the logical tensor."""
+
+    def physical_kinds(self) -> dict[str, str]:
+        """Collection kind of every physical symbol (default: inferred)."""
+        kinds = {}
+        for symbol, value in self.physical().items():
+            if isinstance(value, (int, float)):
+                kinds[symbol] = KIND_SCALAR
+            elif isinstance(value, np.ndarray):
+                kinds[symbol] = KIND_ARRAY
+            elif isinstance(value, PhysicalTrie):
+                kinds[symbol] = KIND_TRIE
+            elif isinstance(value, (dict, PhysicalHashMap)):
+                kinds[symbol] = KIND_HASH
+            else:
+                kinds[symbol] = KIND_HASH
+        return kinds
+
+    def segment_profiles(self) -> dict[str, float]:
+        """Average segment length of segmented arrays (``A_idx2`` etc.), if any."""
+        return {}
+
+    # -- shared helpers -------------------------------------------------------
+
+    @cached_property
+    def _mapping_ast(self) -> Expr:
+        return parse_expr(self.mapping_source())
+
+    def mapping(self) -> Expr:
+        """The Tensor Storage Mapping parsed into a named-form AST."""
+        return self._mapping_ast
+
+    def declarations(self) -> str:
+        """``CREATE`` DDL text documenting the physical symbols (informational)."""
+        lines = []
+        for symbol, value in self.physical().items():
+            if isinstance(value, (int, float)):
+                lines.append(f"CREATE int SCALAR {symbol};")
+            elif isinstance(value, np.ndarray):
+                dtype = "int" if np.issubdtype(value.dtype, np.integer) else "real"
+                lines.append(f"CREATE {dtype} ARRAY {symbol}({len(value)});")
+            elif isinstance(value, PhysicalTrie):
+                dims = "".join(f"({d})" for d in value.dims)
+                lines.append(f"CREATE real TRIE {symbol}{dims};")
+            else:
+                dims = ", ".join(str(d) for d in self.shape)
+                lines.append(f"CREATE real HASHMAP {symbol}({dims});")
+        lines.append(f"CREATE TENSOR {self.name} AS {self.mapping_source().strip()};")
+        return "\n".join(lines)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def density(self) -> float:
+        total = float(np.prod(self.shape)) if self.shape else 1.0
+        return self.nnz / total if total else 0.0
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"{type(self).__name__}({self.name}, {dims}, nnz={self.nnz})"
+
+
+# ---------------------------------------------------------------------------
+# Dense
+# ---------------------------------------------------------------------------
+
+
+class DenseFormat(StorageFormat):
+    """Row-major dense storage: one value array of size ``n1 * ... * nd``."""
+
+    format_name = "dense"
+
+    def __init__(self, name: str, array: np.ndarray):
+        array = np.asarray(array, dtype=np.float64)
+        super().__init__(name, array.shape)
+        if array.ndim not in (1, 2, 3):
+            raise StorageError("DenseFormat supports tensors of rank 1, 2 or 3")
+        self.array = array
+
+    @classmethod
+    def from_dense(cls, name: str, array: np.ndarray, **kwargs) -> "DenseFormat":
+        return cls(name, array)
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs) -> "DenseFormat":
+        dense = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
+        for coordinate, value in zip(np.asarray(coords), np.asarray(values)):
+            dense[tuple(int(c) for c in coordinate)] = value
+        return cls(name, dense)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.array))
+
+    def physical(self) -> dict[str, Any]:
+        symbols: dict[str, Any] = {f"{self.name}_val": self.array.reshape(-1)}
+        for axis, size in enumerate(self.shape, start=1):
+            symbols[f"{self.name}_dim{axis}"] = int(size)
+        return symbols
+
+    def mapping_source(self) -> str:
+        n = self.name
+        if self.rank == 1:
+            return f"sum(<i,_> in 0:{n}_dim1) {{ i -> {n}_val(i) }}"
+        if self.rank == 2:
+            return (
+                f"sum(<i,_> in 0:{n}_dim1, <j,_> in 0:{n}_dim2) "
+                f"{{ (i, j) -> {n}_val(i * {n}_dim2 + j) }}"
+            )
+        return (
+            f"sum(<i,_> in 0:{n}_dim1, <j,_> in 0:{n}_dim2, <k,_> in 0:{n}_dim3) "
+            f"{{ (i, j, k) -> {n}_val((i * {n}_dim2 + j) * {n}_dim3 + k) }}"
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.array.copy()
+
+    def profile(self) -> Profile:
+        profile: Profile = ("s",)
+        for size in reversed(self.shape):
+            profile = (float(size), profile)
+        return profile
+
+
+# ---------------------------------------------------------------------------
+# COO
+# ---------------------------------------------------------------------------
+
+
+class COOFormat(StorageFormat):
+    """Coordinate format: one index array per dimension plus a value array."""
+
+    format_name = "coo"
+
+    def __init__(self, name: str, coords: np.ndarray, values: np.ndarray,
+                 shape: Sequence[int]):
+        super().__init__(name, tuple(shape))
+        coords = np.asarray(coords, dtype=np.int64).reshape(-1, self.rank or 1)
+        order = np.lexsort(tuple(coords[:, axis] for axis in range(coords.shape[1] - 1, -1, -1)))
+        self.coords = coords[order]
+        self.values = np.asarray(values, dtype=np.float64)[order]
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs) -> "COOFormat":
+        return cls(name, coords, values, shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    def physical(self) -> dict[str, Any]:
+        symbols: dict[str, Any] = {f"{self.name}_nnz": self.nnz,
+                                   f"{self.name}_val": self.values}
+        for axis in range(self.rank):
+            symbols[f"{self.name}_idx{axis + 1}"] = self.coords[:, axis]
+        return symbols
+
+    def mapping_source(self) -> str:
+        n = self.name
+        keys = ", ".join(f"{n}_idx{axis + 1}(p)" for axis in range(self.rank))
+        return f"sum(<p,_> in 0:{n}_nnz) {{ ({keys}) -> {n}_val(p) }}"
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for coordinate, value in zip(self.coords, self.values):
+            dense[tuple(int(c) for c in coordinate)] += value
+        return dense
+
+    def profile(self) -> Profile:
+        # All nnz entries are reached through a single flat iteration.
+        branching = _branching_from_coords(self.coords)
+        profile: Profile = ("s",)
+        for factor in reversed(branching):
+            profile = (factor, profile)
+        return profile
+
+
+# ---------------------------------------------------------------------------
+# CSR / CSC (rank 2, segmented arrays)
+# ---------------------------------------------------------------------------
+
+
+def _compress(sorted_outer: np.ndarray, n_outer: int) -> np.ndarray:
+    """Build a positions array (length ``n_outer + 1``) from sorted outer indices."""
+    pos = np.zeros(n_outer + 1, dtype=np.int64)
+    np.add.at(pos, sorted_outer + 1, 1)
+    return np.cumsum(pos)
+
+
+class CSRFormat(StorageFormat):
+    """Compressed Sparse Row: dense rows, sparse columns (the paper's Fig. 1(b))."""
+
+    format_name = "csr"
+    _outer_axis = 0
+    _inner_axis = 1
+
+    def __init__(self, name: str, coords: np.ndarray, values: np.ndarray,
+                 shape: Sequence[int]):
+        super().__init__(name, tuple(shape))
+        if self.rank != 2:
+            raise StorageError(f"{type(self).__name__} is a matrix format")
+        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 2)
+        values = np.asarray(values, dtype=np.float64)
+        outer = coords[:, self._outer_axis]
+        inner = coords[:, self._inner_axis]
+        order = np.lexsort((inner, outer))
+        self._outer_sorted = outer[order]
+        self.idx = inner[order]
+        self.val = values[order]
+        self.pos = _compress(self._outer_sorted, self.shape[self._outer_axis])
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs):
+        return cls(name, coords, values, shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.val.shape[0])
+
+    def physical(self) -> dict[str, Any]:
+        n = self.name
+        return {
+            f"{n}_len1": int(self.shape[self._outer_axis]),
+            f"{n}_pos2": self.pos,
+            f"{n}_idx2": self.idx,
+            f"{n}_val": self.val,
+        }
+
+    def mapping_source(self) -> str:
+        n = self.name
+        # Dense outer dimension (rows), compressed inner dimension (columns).
+        return (
+            f"sum(<row,_> in 0:{n}_len1) "
+            f"{{ @unique row -> "
+            f"sum(<off, col> in {n}_idx2({n}_pos2(row):{n}_pos2(row+1))) "
+            f"{{ @unique col -> {n}_val(off) }} }}"
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        n_outer = self.shape[self._outer_axis]
+        for outer in range(n_outer):
+            for offset in range(self.pos[outer], self.pos[outer + 1]):
+                coordinate = [0, 0]
+                coordinate[self._outer_axis] = outer
+                coordinate[self._inner_axis] = int(self.idx[offset])
+                dense[tuple(coordinate)] += self.val[offset]
+        return dense
+
+    def profile(self) -> Profile:
+        n_outer = self.shape[self._outer_axis]
+        avg = self.nnz / max(1, n_outer)
+        return (float(n_outer), (float(avg), ("s",)))
+
+    def segment_profiles(self) -> dict[str, float]:
+        n_outer = max(1, self.shape[self._outer_axis])
+        avg = self.nnz / n_outer
+        return {f"{self.name}_idx2": avg, f"{self.name}_val": avg}
+
+
+class CSCFormat(CSRFormat):
+    """Compressed Sparse Column: dense columns, sparse rows.
+
+    The logical tensor is still keyed ``(i, j)``; the mapping simply iterates
+    columns in the outer loop, so the outer key of the produced dictionary is
+    the row index coming from the segmented array.
+    """
+
+    format_name = "csc"
+    _outer_axis = 1
+    _inner_axis = 0
+
+    def mapping_source(self) -> str:
+        n = self.name
+        return (
+            f"sum(<col,_> in 0:{n}_len1) "
+            f"sum(<off, row> in {n}_idx2({n}_pos2(col):{n}_pos2(col+1))) "
+            f"{{ (row, col) -> {n}_val(off) }}"
+        )
+
+
+class DCSRFormat(StorageFormat):
+    """Doubly compressed sparse row (sparse-sparse): only non-empty rows are stored."""
+
+    format_name = "dcsr"
+
+    def __init__(self, name: str, coords: np.ndarray, values: np.ndarray,
+                 shape: Sequence[int]):
+        super().__init__(name, tuple(shape))
+        if self.rank != 2:
+            raise StorageError("DCSRFormat is a matrix format")
+        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 2)
+        values = np.asarray(values, dtype=np.float64)
+        order = np.lexsort((coords[:, 1], coords[:, 0]))
+        rows = coords[order, 0]
+        self.idx2 = coords[order, 1]
+        self.val = values[order]
+        self.idx1, counts = np.unique(rows, return_counts=True) if rows.size else (
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        self.pos2 = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self.pos1 = np.array([0, len(self.idx1)], dtype=np.int64)
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs):
+        return cls(name, coords, values, shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.val.shape[0])
+
+    def physical(self) -> dict[str, Any]:
+        n = self.name
+        return {
+            f"{n}_pos1": self.pos1,
+            f"{n}_idx1": self.idx1,
+            f"{n}_pos2": self.pos2,
+            f"{n}_idx2": self.idx2,
+            f"{n}_val": self.val,
+        }
+
+    def mapping_source(self) -> str:
+        n = self.name
+        return (
+            f"sum(<i_pos, i> in {n}_idx1) "
+            f"{{ @unique i -> "
+            f"sum(<j_pos, j> in {n}_idx2({n}_pos2(i_pos):{n}_pos2(i_pos+1))) "
+            f"{{ @unique j -> {n}_val(j_pos) }} }}"
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for position, row in enumerate(self.idx1):
+            for offset in range(self.pos2[position], self.pos2[position + 1]):
+                dense[int(row), int(self.idx2[offset])] += self.val[offset]
+        return dense
+
+    def profile(self) -> Profile:
+        non_empty = max(1, len(self.idx1))
+        avg = self.nnz / non_empty
+        return (float(len(self.idx1)), (float(avg), ("s",)))
+
+    def segment_profiles(self) -> dict[str, float]:
+        non_empty = max(1, len(self.idx1))
+        avg = self.nnz / non_empty
+        return {f"{self.name}_idx2": avg, f"{self.name}_val": avg}
+
+
+# ---------------------------------------------------------------------------
+# CSF (rank 3)
+# ---------------------------------------------------------------------------
+
+
+class CSFFormat(StorageFormat):
+    """Compressed Sparse Fiber for rank-3 tensors (sparse tree of segments)."""
+
+    format_name = "csf"
+
+    def __init__(self, name: str, coords: np.ndarray, values: np.ndarray,
+                 shape: Sequence[int]):
+        super().__init__(name, tuple(shape))
+        if self.rank != 3:
+            raise StorageError("CSFFormat stores rank-3 tensors")
+        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 3)
+        values = np.asarray(values, dtype=np.float64)
+        order = np.lexsort((coords[:, 2], coords[:, 1], coords[:, 0]))
+        coords = coords[order]
+        values = values[order]
+
+        idx1: list[int] = []
+        pos2: list[int] = [0]
+        idx2: list[int] = []
+        pos3: list[int] = [0]
+        idx3: list[int] = []
+        val: list[float] = []
+        last_i = None
+        last_ik = None
+        for (i, k, l), v in zip(coords, values):
+            i, k, l = int(i), int(k), int(l)
+            if i != last_i:
+                idx1.append(i)
+                pos2.append(pos2[-1])
+                last_i = i
+                last_ik = None
+            if (i, k) != last_ik:
+                idx2.append(k)
+                pos2[-1] += 1
+                pos3.append(pos3[-1])
+                last_ik = (i, k)
+            idx3.append(l)
+            pos3[-1] += 1
+            val.append(float(v))
+
+        self.idx1 = np.array(idx1, dtype=np.int64)
+        self.pos2 = np.array(pos2, dtype=np.int64)
+        self.idx2 = np.array(idx2, dtype=np.int64)
+        self.pos3 = np.array(pos3, dtype=np.int64)
+        self.idx3 = np.array(idx3, dtype=np.int64)
+        self.val = np.array(val, dtype=np.float64)
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs):
+        return cls(name, coords, values, shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.val.shape[0])
+
+    def physical(self) -> dict[str, Any]:
+        n = self.name
+        return {
+            f"{n}_idx1": self.idx1,
+            f"{n}_pos2": self.pos2,
+            f"{n}_idx2": self.idx2,
+            f"{n}_pos3": self.pos3,
+            f"{n}_idx3": self.idx3,
+            f"{n}_val": self.val,
+        }
+
+    def mapping_source(self) -> str:
+        n = self.name
+        return (
+            f"sum(<p1, i> in {n}_idx1) "
+            f"{{ @unique i -> "
+            f"sum(<p2, k> in {n}_idx2({n}_pos2(p1):{n}_pos2(p1+1))) "
+            f"{{ @unique k -> "
+            f"sum(<p3, l> in {n}_idx3({n}_pos3(p2):{n}_pos3(p2+1))) "
+            f"{{ @unique l -> {n}_val(p3) }} }} }}"
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for p1, i in enumerate(self.idx1):
+            for p2 in range(self.pos2[p1], self.pos2[p1 + 1]):
+                k = int(self.idx2[p2])
+                for p3 in range(self.pos3[p2], self.pos3[p2 + 1]):
+                    dense[int(i), k, int(self.idx3[p3])] += self.val[p3]
+        return dense
+
+    def profile(self) -> Profile:
+        n1 = max(1, len(self.idx1))
+        n2 = max(1, len(self.idx2))
+        return (
+            float(len(self.idx1)),
+            (float(n2 / n1), (float(self.nnz / max(1, n2)), ("s",))),
+        )
+
+    def segment_profiles(self) -> dict[str, float]:
+        n1 = max(1, len(self.idx1))
+        n2 = max(1, len(self.idx2))
+        return {
+            f"{self.name}_idx2": n2 / n1,
+            f"{self.name}_idx3": self.nnz / n2,
+            f"{self.name}_val": self.nnz / n2,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Hash-based formats
+# ---------------------------------------------------------------------------
+
+
+class DOKFormat(StorageFormat):
+    """Dictionary-of-keys: one flat hash-map keyed by the full coordinate tuple."""
+
+    format_name = "dok"
+
+    def __init__(self, name: str, entries: Mapping[tuple[int, ...], float],
+                 shape: Sequence[int]):
+        super().__init__(name, tuple(shape))
+        self.hashmap = PhysicalHashMap(f"{name}_hash", dict(entries), self.shape)
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs):
+        entries = {tuple(int(c) for c in coordinate): float(v)
+                   for coordinate, v in zip(np.asarray(coords), np.asarray(values))}
+        return cls(name, entries, shape)
+
+    @property
+    def nnz(self) -> int:
+        return self.hashmap.nnz
+
+    def physical(self) -> dict[str, Any]:
+        return {f"{self.name}_hash": self.hashmap}
+
+    def mapping_source(self) -> str:
+        n = self.name
+        variables = ", ".join(f"i{axis + 1}" for axis in range(self.rank))
+        return f"sum(<({variables}), v> in {n}_hash) {{ ({variables}) -> v }}"
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        for key, value in self.hashmap.entries.items():
+            dense[key] += value
+        return dense
+
+    def profile(self) -> Profile:
+        coords = np.array(list(self.hashmap.entries.keys()), dtype=np.int64).reshape(-1, self.rank)
+        branching = _branching_from_coords(coords)
+        profile: Profile = ("s",)
+        for factor in reversed(branching):
+            profile = (factor, profile)
+        return profile
+
+
+class TrieFormat(StorageFormat):
+    """A trie (tree of hash-maps): one hash level per dimension."""
+
+    format_name = "trie"
+
+    def __init__(self, name: str, entries: Mapping[tuple[int, ...], float],
+                 shape: Sequence[int]):
+        super().__init__(name, tuple(shape))
+        self.trie = PhysicalTrie.from_entries(f"{name}_trie", dict(entries), self.shape)
+        self._nnz = sum(1 for v in entries.values() if v != 0)
+
+    @classmethod
+    def from_coo(cls, name, coords, values, shape, **kwargs):
+        entries = {tuple(int(c) for c in coordinate): float(v)
+                   for coordinate, v in zip(np.asarray(coords), np.asarray(values))}
+        return cls(name, entries, shape)
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    def physical(self) -> dict[str, Any]:
+        return {f"{self.name}_trie": self.trie}
+
+    def mapping_source(self) -> str:
+        n = self.name
+        if self.rank == 1:
+            return f"sum(<i, v> in {n}_trie) {{ i -> v }}"
+        if self.rank == 2:
+            return f"sum(<i, row> in {n}_trie, <j, v> in row) {{ (i, j) -> v }}"
+        return (
+            f"sum(<i, fiber> in {n}_trie, <j, row> in fiber, <k, v> in row) "
+            f"{{ (i, j, k) -> v }}"
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        _fill_dense_from_nested(dense, self.trie.nested, ())
+        return dense
+
+    def profile(self) -> Profile:
+        levels = []
+        level = [self.trie.nested]
+        for _ in range(self.rank):
+            sizes = [len(node) for node in level if isinstance(node, dict)]
+            levels.append(float(np.mean(sizes)) if sizes else 0.0)
+            next_level = []
+            for node in level:
+                if isinstance(node, dict):
+                    next_level.extend(node.values())
+            level = next_level
+        profile: Profile = ("s",)
+        # The first level count is the total number of keys; deeper levels are averages.
+        counts = [float(len(self.trie.nested))] + levels[1:]
+        for factor in reversed(counts):
+            profile = (factor, profile)
+        return profile
+
+
+def _fill_dense_from_nested(dense: np.ndarray, nested: dict, prefix: tuple[int, ...]) -> None:
+    for key, value in nested.items():
+        if isinstance(value, dict):
+            _fill_dense_from_nested(dense, value, prefix + (int(key),))
+        else:
+            dense[prefix + (int(key),)] += value
+
+
+def _branching_from_coords(coords: np.ndarray) -> list[float]:
+    """Average branching factor per level of the coordinate tree."""
+    if coords.size == 0:
+        return [0.0] * (coords.shape[1] if coords.ndim == 2 else 1)
+    rank = coords.shape[1]
+    factors = []
+    previous_distinct = 1
+    for level in range(1, rank + 1):
+        prefixes = {tuple(int(c) for c in row[:level]) for row in coords}
+        factors.append(len(prefixes) / previous_distinct)
+        previous_distinct = len(prefixes)
+    return factors
+
+
+#: Registry of formats by short name, used by the benchmark harness.
+FORMATS: dict[str, type[StorageFormat]] = {
+    "dense": DenseFormat,
+    "coo": COOFormat,
+    "csr": CSRFormat,
+    "csc": CSCFormat,
+    "dcsr": DCSRFormat,
+    "csf": CSFFormat,
+    "dok": DOKFormat,
+    "trie": TrieFormat,
+}
+
+
+def build_format(kind: str, name: str, array: np.ndarray) -> StorageFormat:
+    """Build tensor ``name`` from a dense array using the format named ``kind``."""
+    try:
+        cls = FORMATS[kind]
+    except KeyError as exc:
+        raise StorageError(f"unknown storage format {kind!r}") from exc
+    return cls.from_dense(name, array)

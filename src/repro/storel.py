@@ -1,0 +1,97 @@
+"""High-level convenience API: run an SDQLite tensor program end to end.
+
+This is the "one call" interface used by the examples and the quickstart in
+the README::
+
+    import numpy as np
+    from repro import storel
+    from repro.storage import Catalog, CSRFormat, DenseFormat
+
+    catalog = (Catalog()
+               .add(CSRFormat.from_dense("A", A))
+               .add(DenseFormat.from_dense("X", x))
+               .add_scalar("beta", 2.0))
+    result = storel.run(
+        "sum(<(i,j), a> in A, <k, x> in X) if (j == k) then { i -> beta * a * x }",
+        catalog)
+
+Under the hood this parses the program, derives statistics from the catalog,
+runs the cost-based optimizer, compiles the chosen plan to Python, executes
+it and returns the result (a scalar or a nested dict, or a dense NumPy array
+when ``dense_shape`` is given).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .core.optimizer import OptimizationResult, Optimizer
+from .core.statistics import Statistics
+from .execution.engine import ExecutionEngine, result_to_dense
+from .sdqlite.ast import Expr
+from .sdqlite.parser import parse_expr
+from .storage.catalog import Catalog
+
+
+@dataclass
+class RunOutcome:
+    """Result of :func:`run_detailed`: the value plus the optimizer's output."""
+
+    result: Any
+    optimization: OptimizationResult
+    plan_source: str
+
+
+def _as_program(program: "str | Expr") -> Expr:
+    if isinstance(program, str):
+        return parse_expr(program)
+    return program
+
+
+def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
+                 backend: str = "compile", dense_shape: tuple[int, ...] | None = None,
+                 optimizer_options: Mapping[str, Any] | None = None) -> RunOutcome:
+    """Optimize and execute ``program`` over ``catalog``; return value and plan details."""
+    expr = _as_program(program)
+    stats = Statistics.from_catalog(catalog)
+    optimizer = Optimizer(stats, **dict(optimizer_options or {}))
+    optimization = optimizer.optimize(expr, catalog.mappings(), method=method)
+    engine = ExecutionEngine.for_catalog(catalog, backend=backend)
+    prepared = engine.prepare(optimization.plan)
+    result = prepared.run()
+    if dense_shape is not None:
+        result = result_to_dense(result, dense_shape)
+    return RunOutcome(result=result, optimization=optimization, plan_source=prepared.source)
+
+
+def run(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
+        backend: str = "compile", dense_shape: tuple[int, ...] | None = None) -> Any:
+    """Optimize and execute ``program`` over ``catalog``; return just the value."""
+    return run_detailed(program, catalog, method=method, backend=backend,
+                        dense_shape=dense_shape).result
+
+
+def explain(program: "str | Expr", catalog: Catalog, *, method: str = "greedy") -> str:
+    """Return a human-readable description of the plan STOREL chooses."""
+    from .sdqlite.pretty import pretty
+
+    expr = _as_program(program)
+    stats = Statistics.from_catalog(catalog)
+    optimizer = Optimizer(stats)
+    optimization = optimizer.optimize(expr, catalog.mappings(), method=method)
+    lines = [
+        "== chosen plan ==",
+        pretty(optimization.plan, indent=True),
+        "",
+        f"estimated cost: {optimization.cost:.1f}",
+    ]
+    if optimization.candidate_costs:
+        lines.append("candidate costs:")
+        for name, cost in sorted(optimization.candidate_costs.items(), key=lambda kv: kv[1]):
+            lines.append(f"  {name:<26}: {cost:.1f}")
+    if optimization.stage1 is not None:
+        lines.append(f"stage 1 (storage-independent): {optimization.stage1.as_row()}")
+    if optimization.stage2 is not None:
+        lines.append(f"stage 2 (storage-aware):       {optimization.stage2.as_row()}")
+    return "\n".join(lines)

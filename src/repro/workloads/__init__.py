@@ -1,0 +1,9 @@
+"""Experiment harness: catalogs, measurements, reporting for every table / figure."""
+
+from .harness import Measurement, catalog_for_matrices, measure, run_matrix, time_callable
+from .reporting import format_table, pivot_measurements, speedup_summary
+
+__all__ = [
+    "Measurement", "catalog_for_matrices", "measure", "run_matrix", "time_callable",
+    "format_table", "pivot_measurements", "speedup_summary",
+]

@@ -1,0 +1,105 @@
+"""Benchmark harness: build catalogs, run systems, collect timings.
+
+The harness mirrors the paper's methodology (Sec. 6): data loading, format
+construction and plan preparation are excluded from the measured time; each
+measurement is repeated a configurable number of times and the average is
+reported.  Systems that cannot run a configuration (out of memory, missing
+sparse rank-3 support) are recorded as such rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..baselines.base import NotSupportedError, System, reference_result
+from ..kernels.programs import Kernel
+from ..storage.catalog import Catalog
+from ..storage.formats import build_format
+
+
+@dataclass
+class Measurement:
+    """One (kernel, dataset, system) timing."""
+
+    kernel: str
+    dataset: str
+    system: str
+    mean_ms: float | None
+    runs: int = 0
+    status: str = "ok"          # ok | unsupported | error
+    detail: str = ""
+    correct: bool | None = None
+
+    def as_row(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "dataset": self.dataset,
+            "system": self.system,
+            "mean_ms": None if self.mean_ms is None else round(self.mean_ms, 3),
+            "status": self.status,
+            "correct": self.correct,
+            "detail": self.detail,
+        }
+
+
+def time_callable(run, repeats: int = 3) -> tuple[float, object]:
+    """Average wall-clock milliseconds of ``run()`` over ``repeats`` executions."""
+    result = None
+    timings = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run()
+        timings.append((time.perf_counter() - start) * 1_000.0)
+    return float(np.mean(timings)), result
+
+
+def measure(system: System, kernel: Kernel, catalog: Catalog, *, dataset: str = "",
+            repeats: int = 3, check: bool = True) -> Measurement:
+    """Run one system on one kernel / catalog and record the outcome."""
+    try:
+        run = system.prepare(kernel, catalog)
+    except NotSupportedError as exc:
+        return Measurement(kernel.name, dataset, system.name, None,
+                           status="unsupported", detail=str(exc))
+    except Exception as exc:  # noqa: BLE001 - harness must keep going
+        return Measurement(kernel.name, dataset, system.name, None,
+                           status="error", detail=f"{type(exc).__name__}: {exc}")
+    try:
+        mean_ms, result = time_callable(run, repeats)
+    except Exception as exc:  # noqa: BLE001
+        return Measurement(kernel.name, dataset, system.name, None,
+                           status="error", detail=f"{type(exc).__name__}: {exc}")
+    correct: bool | None = None
+    if check:
+        expected = reference_result(kernel, catalog)
+        correct = bool(np.allclose(np.asarray(result, dtype=np.float64),
+                                   np.asarray(expected, dtype=np.float64),
+                                   rtol=1e-6, atol=1e-6))
+    return Measurement(kernel.name, dataset, system.name, mean_ms,
+                       runs=repeats, correct=correct)
+
+
+def run_matrix(systems: Sequence[System], kernel: Kernel, catalogs: dict[str, Catalog],
+               *, repeats: int = 3, check: bool = True) -> list[Measurement]:
+    """Cross product of systems × named catalogs for one kernel."""
+    measurements = []
+    for dataset, catalog in catalogs.items():
+        for system in systems:
+            measurements.append(
+                measure(system, kernel, catalog, dataset=dataset, repeats=repeats, check=check))
+    return measurements
+
+
+def catalog_for_matrices(formats: dict[str, tuple[str, np.ndarray]],
+                         scalars: dict[str, float] | None = None) -> Catalog:
+    """Build a catalog from ``{tensor: (format_name, dense_array)}``."""
+    catalog = Catalog()
+    for name, (format_name, dense) in formats.items():
+        catalog.add(build_format(format_name, name, dense))
+    for name, value in (scalars or {}).items():
+        catalog.add_scalar(name, value)
+    return catalog

@@ -1,0 +1,83 @@
+"""Plain-text reporting of benchmark results (tables and series).
+
+The benchmark modules print, for every figure / table of the paper, rows in
+the same shape the paper reports (datasets × systems, density sweeps, Egg
+compilation metrics) so that the reproduction can be compared side by side
+with the original; EXPERIMENTS.md records that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .harness import Measurement
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {column: _cell(row.get(column)) for column in columns}
+        rendered_rows.append(rendered)
+        for column in columns:
+            widths[column] = max(widths[column], len(rendered[column]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def pivot_measurements(measurements: Iterable[Measurement], *,
+                       row_key: str = "dataset", column_key: str = "system") -> list[dict]:
+    """Pivot measurements into one row per dataset with one column per system."""
+    rows: dict[str, dict] = {}
+    for measurement in measurements:
+        row = rows.setdefault(getattr(measurement, row_key), {row_key: getattr(measurement, row_key)})
+        value = measurement.mean_ms
+        if measurement.status == "unsupported":
+            cell = "OOM/n.s."
+        elif measurement.status == "error":
+            cell = "error"
+        else:
+            cell = value
+        row[getattr(measurement, column_key)] = cell
+    return list(rows.values())
+
+
+def speedup_summary(measurements: Iterable[Measurement], baseline: str,
+                    subject: str) -> list[dict]:
+    """Per-dataset speedup of ``subject`` over ``baseline`` (how the paper phrases wins)."""
+    by_dataset: dict[str, dict[str, float]] = {}
+    for measurement in measurements:
+        if measurement.mean_ms is None:
+            continue
+        by_dataset.setdefault(measurement.dataset, {})[measurement.system] = measurement.mean_ms
+    rows = []
+    for dataset, systems in sorted(by_dataset.items()):
+        if baseline in systems and subject in systems and systems[subject] > 0:
+            rows.append({
+                "dataset": dataset,
+                baseline: systems[baseline],
+                subject: systems[subject],
+                "speedup": systems[baseline] / systems[subject],
+            })
+    return rows

@@ -1,0 +1,110 @@
+"""Unit tests for the SDQLite AST helpers."""
+
+import pytest
+
+from repro.sdqlite.ast import (
+    Add,
+    Const,
+    DictExpr,
+    Get,
+    IfThen,
+    Let,
+    Mul,
+    RangeExpr,
+    Sum,
+    Sym,
+    Var,
+    children,
+    expr_depth,
+    lift,
+    node_count,
+    postorder,
+    rebuild,
+    symbols,
+    binder_arities,
+    eq,
+    singleton,
+)
+
+
+def test_lift_numbers_and_expressions():
+    assert lift(3) == Const(3)
+    assert lift(2.5) == Const(2.5)
+    expr = Sym("A")
+    assert lift(expr) is expr
+    with pytest.raises(TypeError):
+        lift("not a number")
+
+
+def test_operator_sugar_builds_ast():
+    a, b = Sym("a"), Sym("b")
+    assert a + b == Add(a, b)
+    assert a * 2 == Mul(a, Const(2))
+    assert 2 * a == Mul(Const(2), a)
+    assert (a - b) == (a - b)
+    assert a(Const(1)) == Get(a, Const(1))
+    assert a(1, 2) == Get(Get(a, Const(1)), Const(2))
+
+
+def test_children_and_rebuild_roundtrip():
+    expr = Sum(Sym("A"), DictExpr(Var("i"), Var("v")), key_name="i", val_name="v")
+    kids = children(expr)
+    assert kids == (Sym("A"), DictExpr(Var("i"), Var("v")))
+    rebuilt = rebuild(expr, kids)
+    assert rebuilt == expr
+    # names are preserved on rebuild
+    assert rebuilt.key_name == "i" and rebuilt.val_name == "v"
+
+
+def test_rebuild_wrong_arity_raises():
+    with pytest.raises(ValueError):
+        rebuild(Add(Const(1), Const(2)), [Const(1)])
+
+
+def test_binder_arities():
+    let = Let(Const(1), Var("x"), name="x")
+    assert binder_arities(let) == (0, 1)
+    s = Sum(Sym("A"), Const(1))
+    assert binder_arities(s) == (0, 2)
+    assert binder_arities(Add(Const(1), Const(2))) == (0, 0)
+
+
+def test_postorder_and_counts():
+    expr = Add(Mul(Const(1), Const(2)), Const(3))
+    nodes = list(postorder(expr))
+    assert nodes[-1] is expr
+    assert node_count(expr) == 5
+    assert expr_depth(expr) == 3
+
+
+def test_symbols_collects_global_names():
+    expr = Sum(Sym("A"), Mul(Var("v"), Get(Sym("B"), Var("i"))), key_name="i", val_name="v")
+    assert symbols(expr) == {"A", "B"}
+
+
+def test_names_do_not_affect_equality():
+    a = Sum(Sym("A"), Const(1), key_name="i", val_name="v")
+    b = Sum(Sym("A"), Const(1), key_name="j", val_name="w")
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_dict_annotations_validated():
+    with pytest.raises(ValueError):
+        DictExpr(Const(0), Const(1), annot="weird")
+    d = singleton(0, 1, annot="dense")
+    assert d.annot == "dense"
+
+
+def test_eq_and_ifthen_helpers():
+    cond = eq(Var("i"), 3)
+    assert cond.op == "=="
+    node = IfThen(cond, Const(1))
+    assert children(node) == (cond, Const(1))
+
+
+def test_range_and_const_validation():
+    r = RangeExpr(Const(0), Const(5))
+    assert children(r) == (Const(0), Const(5))
+    with pytest.raises(TypeError):
+        Const("hello")

@@ -1,0 +1,178 @@
+"""Tests for the cardinality estimator (Fig. 5) and the cost model (Fig. 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Card, CostModel, Statistics, estimate
+from repro.core.cardinality import card_from_profile
+from repro.core.cost import Gamma
+from repro.data.synthetic import random_dense_vector, random_sparse_matrix
+from repro.kernels import BATAX_NESTED
+from repro.core import compose, strategies
+from repro.sdqlite import parse_expr, to_debruijn
+from repro.storage import Catalog, CSRFormat, DenseFormat, DOKFormat, TrieFormat
+
+
+def db(source):
+    return to_debruijn(parse_expr(source))
+
+
+def make_stats(**profiles):
+    stats = Statistics()
+    for name, counts in profiles.items():
+        stats.profiles[name] = Card.of(*counts)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Card structure
+# ---------------------------------------------------------------------------
+
+
+def test_card_structure():
+    card = Card.of(100, 10, 50)
+    assert not card.is_scalar
+    assert card.size() == 100
+    assert card.elem().size() == 10
+    assert card.total() == 100 * 10 * 50
+    assert card.depth() == 3
+    assert repr(card) == "100[10[50[s]]]"
+    assert Card.scalar().is_scalar
+    assert Card.scalar().total() == 1.0
+    assert card.scale(0.5).size() == 50
+
+
+def test_card_from_profile():
+    assert card_from_profile(("s",)) == Card.scalar()
+    assert card_from_profile((3.0, (5.0, ("s",)))) == Card.of(3, 5)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 rules
+# ---------------------------------------------------------------------------
+
+
+def test_paper_example_selection_cardinality():
+    # Paper, Sec. 5.5: card(A) = 1000[s], sel = 0.02 -> card = 20[s].
+    stats = make_stats(A=(1000,)).with_selectivity(0.02)
+    expr = db("sum(<i, v> in A) if (v == 25) then { i -> i * 3 }")
+    card = estimate(expr, stats)
+    assert card.size() == pytest.approx(20.0)
+    assert card.elem().is_scalar
+
+
+def test_cardinality_of_lookup_and_dict():
+    stats = make_stats(A=(100, 10))
+    assert estimate(db("A(5)"), stats) == Card.of(10)
+    assert estimate(db("{ 3 -> 7 }"), stats) == Card.of(1)
+    assert estimate(db("{ 3 -> A(1) }"), stats).elem().size() == 10
+
+
+def test_cardinality_of_range_and_slice():
+    stats = Statistics(scalar_values={"N": 40})
+    assert estimate(db("0:N"), stats).size() == 40
+    assert estimate(db("0:17"), stats).size() == 17
+    stats.segments["A_idx2"] = 6.0
+    assert estimate(db("A_idx2(p:q)"), stats).size() == 6.0
+    assert estimate(db("A_idx2(3:9)"), stats).size() == 6.0
+
+
+def test_cardinality_of_sum_scales_by_source_size():
+    stats = make_stats(A=(100, 10))
+    # sum over A of {k -> 1} per row: 100 * 1 keys
+    card = estimate(db("sum(<i, row> in A) { i -> 2 }"), stats)
+    assert card.size() == 100
+    # nested iteration multiplies out (Fig. 5: card(sum) = size(e1) * n[c])
+    card = estimate(db("sum(<i, row> in A, <j, v> in row) { (i, j) -> v }"), stats)
+    assert card.size() == pytest.approx(100 * 10)
+    assert card.elem().size() == pytest.approx(1)
+    # scalar bodies stay scalar
+    assert estimate(db("sum(<i, row> in A, <j, v> in row) v"), stats).is_scalar
+
+
+def test_cardinality_arithmetic_bounds():
+    stats = make_stats(A=(100,), B=(40,))
+    assert estimate(db("A + B"), stats).size() == 140
+    assert estimate(db("A * B"), stats).size() == 40
+    assert estimate(db("A * 3"), stats).size() == 100
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 cost rules
+# ---------------------------------------------------------------------------
+
+
+def test_cost_prefers_iterating_the_sparse_side():
+    stats = Statistics()
+    stats.profiles["S"] = Card.of(10)     # sparse vector: 10 entries
+    stats.profiles["D"] = Card.of(1000)   # dense vector: 1000 entries
+    stats.kinds.update({"S": "hash", "D": "array"})
+    model = CostModel(stats)
+    iterate_sparse = model.plan_cost(db("sum(<i, s> in S) s * D(i)"))
+    iterate_dense = model.plan_cost(db("sum(<i, d> in D) d * S(i)"))
+    assert iterate_sparse < iterate_dense
+
+
+def test_cost_charges_infinite_for_logical_dicts_in_physical_mode():
+    stats = make_stats(A=(100,))
+    logical = db("sum(<i, v> in A) { i -> v }")
+    relaxed = CostModel(stats, require_physical=False).plan_cost(logical)
+    forced = CostModel(stats, require_physical=True).plan_cost(logical)
+    assert math.isfinite(relaxed)
+    assert math.isinf(forced)
+    annotated = db("sum(<i, v> in A) { @hash i -> v }")
+    assert math.isfinite(CostModel(stats, require_physical=True).plan_cost(annotated))
+
+
+def test_cost_dense_insert_cheaper_than_hash_insert():
+    stats = make_stats(A=(100,))
+    dense = CostModel(stats).plan_cost(db("sum(<i, v> in A) { @dense i -> v }"))
+    hashed = CostModel(stats).plan_cost(db("sum(<i, v> in A) { @hash i -> v }"))
+    assert dense < hashed
+
+
+def test_cost_of_let_charges_materialization():
+    stats = make_stats(A=(100,))
+    gamma = Gamma()
+    model = CostModel(stats, gamma=gamma)
+    with_let = model.plan_cost(db("let t = sum(<i, v> in A) v in t * t"))
+    without = model.plan_cost(db("(sum(<i, v> in A) v) * (sum(<i, v> in A) v)"))
+    # The let computes the sum once (plus materialization), the inline form twice.
+    assert with_let < without
+
+
+def test_cost_model_orders_batax_plans_correctly():
+    a = random_sparse_matrix(32, 32, 0.05, seed=3)
+    x = random_dense_vector(32, seed=4)
+    catalog = Catalog()
+    catalog.add(CSRFormat.from_dense("A", a))
+    catalog.add(DenseFormat.from_dense("X", x))
+    catalog.add_scalar("beta", 2.0)
+    stats = Statistics.from_catalog(catalog)
+    naive = compose(BATAX_NESTED.program, catalog.mappings())
+    candidates = strategies.candidate_plans(naive)
+    model = CostModel(stats)
+    costs = {name: model.plan_cost(plan) for name, plan in candidates.items()}
+    assert costs["fused+factorized"] < costs["fused"] < costs["naive"]
+    assert costs["fused+factorized"] < costs["factorized"] < costs["naive"]
+
+
+def test_statistics_from_catalog():
+    a = random_sparse_matrix(16, 16, 0.2, seed=5)
+    catalog = Catalog()
+    catalog.add(CSRFormat.from_dense("A", a))
+    catalog.add(TrieFormat.from_dense("T", a))
+    catalog.add(DOKFormat.from_dense("H", a))
+    catalog.add_scalar("beta", 1.5)
+    stats = Statistics.from_catalog(catalog)
+    assert stats.kind("A_val") == "array"
+    assert stats.kind("T_trie") == "trie"
+    assert stats.kind("H_hash") == "hash"
+    assert stats.scalar_value("A_len1") == 16
+    assert stats.scalar_value("beta") == 1.5
+    assert stats.profile("A").size() == 16
+    assert stats.segment("A_idx2") == pytest.approx(catalog["A"].nnz / 16)
+    # physical arrays get flat profiles
+    assert stats.profile("A_val").size() == catalog["A"].nnz

@@ -1,0 +1,122 @@
+"""Tests for the catalog, conversions, and the dataset generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import frostt, suitesparse
+from repro.data.synthetic import (
+    density_sweep,
+    random_dense_vector,
+    random_sparse_matrix,
+    random_sparse_tensor3,
+    random_sparse_vector,
+)
+from repro.sdqlite.errors import StorageError
+from repro.storage import Catalog, CSRFormat, DenseFormat, build_format
+from repro.storage.convert import (
+    as_relation,
+    coo_arrays,
+    densify,
+    from_scipy,
+    restore,
+    to_scipy_csr,
+)
+
+MATRIX = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 3.0]])
+
+
+def test_catalog_registration_and_globals():
+    catalog = Catalog()
+    catalog.add(CSRFormat.from_dense("A", MATRIX)).add_scalar("beta", 2.5)
+    assert "A" in catalog and "beta" in catalog
+    env = catalog.globals()
+    assert "A_val" in env and env["beta"] == 2.5
+    assert catalog.scalar_values()["A_len1"] == 2
+    assert "A" in catalog.mappings()
+    assert catalog.physical_kinds()["A_val"] == "array"
+    assert catalog.tensor_profiles()["A"][0] == 2.0
+    assert "csr" in catalog.describe()
+    assert "CREATE" in catalog.declarations()
+
+
+def test_catalog_rejects_duplicates():
+    catalog = Catalog()
+    catalog.add(CSRFormat.from_dense("A", MATRIX))
+    with pytest.raises(StorageError):
+        catalog.add(DenseFormat.from_dense("A", MATRIX))
+    other = Catalog().add(CSRFormat.from_dense("A", MATRIX))
+    other.tensors["B"] = CSRFormat.from_dense("A", MATRIX)  # same symbols on purpose
+    with pytest.raises(StorageError):
+        other.globals()
+
+
+def test_scipy_conversions():
+    fmt = from_scipy("csr", "A", sp.csr_matrix(MATRIX))
+    np.testing.assert_allclose(fmt.to_dense(), MATRIX)
+    back = to_scipy_csr(fmt)
+    np.testing.assert_allclose(back.toarray(), MATRIX)
+    dense_again = densify(fmt)
+    np.testing.assert_allclose(dense_again.to_dense(), MATRIX)
+    re_stored = restore(fmt, "dcsr")
+    np.testing.assert_allclose(re_stored.to_dense(), MATRIX)
+
+
+def test_relation_and_coo_views():
+    fmt = build_format("coo", "A", MATRIX)
+    coords, values = coo_arrays(fmt)
+    assert coords.shape == (3, 2) and values.shape == (3,)
+    relation = as_relation(fmt)
+    assert relation.shape == (3, 3)
+    # every relation row is (i, j, value) of a non-zero
+    for i, j, v in relation:
+        assert MATRIX[int(i), int(j)] == v
+
+
+def test_synthetic_matrix_density_and_determinism():
+    a = random_sparse_matrix(100, 80, 0.05, seed=7)
+    b = random_sparse_matrix(100, 80, 0.05, seed=7)
+    np.testing.assert_array_equal(a, b)
+    density = np.count_nonzero(a) / a.size
+    assert 0.02 <= density <= 0.08
+    skewed = random_sparse_matrix(100, 80, 0.05, seed=7, skew=0.9)
+    top = np.count_nonzero(skewed[:20])
+    bottom = np.count_nonzero(skewed[80:])
+    assert top > bottom
+
+
+def test_synthetic_vector_and_tensor():
+    v = random_sparse_vector(50, 0.2, seed=1)
+    assert np.count_nonzero(v) == 10
+    dense = random_dense_vector(10, seed=2)
+    assert np.all(dense > 0)
+    coords, values = random_sparse_tensor3(10, 12, 14, 0.01, seed=3)
+    assert coords.shape[1] == 3
+    assert coords.shape[0] == values.shape[0]
+    assert np.unique(coords, axis=0).shape[0] == coords.shape[0]
+
+
+def test_density_sweep_grid():
+    sweep = density_sweep(-3, 0)
+    assert sweep == [0.125, 0.25, 0.5, 1.0]
+
+
+def test_suitesparse_standins_preserve_density():
+    for name in suitesparse.matrix_names():
+        spec = suitesparse.MATRICES[name]
+        matrix = suitesparse.load_matrix(name, scale=256, min_dim=32)
+        density = np.count_nonzero(matrix) / matrix.size
+        # density within a factor of ~4 of the paper's (up to the min-nnz floor)
+        target = max(spec.density, 2.0 / matrix.shape[1])
+        assert density == pytest.approx(target, rel=0.75)
+    rows = suitesparse.table2_rows(scale=256)
+    assert len(rows) == 6 and rows[0]["tensor"] == "cant"
+
+
+def test_frostt_standins():
+    for name in frostt.tensor_names():
+        coords, values, dims = frostt.load_tensor(name, scale=64)
+        assert coords.shape[0] == values.shape[0] > 0
+        assert all(coords[:, axis].max() < dims[axis] for axis in range(3))
+    rows = frostt.table2_rows(scale=64)
+    assert len(rows) == 4 and rows[0]["tensor"] == "NIPS"

@@ -1,0 +1,165 @@
+"""Tests for TP ∘ TSM composition and for the e-graph rule base."""
+
+import numpy as np
+import pytest
+
+from repro.core import compose, compose_with_lets
+from repro.core.rules import (
+    all_rules,
+    associativity_commutativity_rules,
+    dictionary_rules,
+    distributivity_rules,
+    fusion_rules,
+    logical_rules,
+    physical_annotation_rules,
+    physical_rules,
+    rule_names,
+    simplification_rules,
+)
+from repro.data.synthetic import random_dense_vector, random_sparse_matrix
+from repro.egraph import EGraph, Runner, extract_smallest
+from repro.kernels import BATAX_NESTED
+from repro.sdqlite import evaluate, parse_expr, to_debruijn, values_equal
+from repro.sdqlite.ast import Sym, symbols
+from repro.storage import Catalog, CSRFormat, DenseFormat
+
+
+def db(source):
+    return to_debruijn(parse_expr(source))
+
+
+# ---------------------------------------------------------------------------
+# composition
+# ---------------------------------------------------------------------------
+
+
+def make_catalog():
+    a = random_sparse_matrix(6, 6, 0.4, seed=11)
+    x = random_dense_vector(6, seed=12)
+    return (Catalog()
+            .add(CSRFormat.from_dense("A", a))
+            .add(DenseFormat.from_dense("X", x))
+            .add_scalar("beta", 2.0))
+
+
+def test_compose_substitutes_mappings():
+    catalog = make_catalog()
+    program = BATAX_NESTED.program
+    naive = compose(program, catalog.mappings())
+    names = symbols(naive)
+    # Logical tensor names are gone, physical symbols are present.
+    assert "A" not in names and "X" not in names
+    assert "A_pos2" in names and "X_val" in names and "beta" in names
+
+
+def test_compose_only_replaces_known_tensors():
+    program = parse_expr("sum(<i, v> in A) { i -> v * B(i) }")
+    naive = compose(program, {"A": parse_expr("sum(<i, v> in A_raw) { i -> v }")})
+    assert "B" in symbols(naive) and "A_raw" in symbols(naive)
+
+
+def test_compose_with_lets_is_equivalent_to_substitution():
+    catalog = make_catalog()
+    program = BATAX_NESTED.program
+    substituted = compose(program, catalog.mappings())
+    let_form = compose_with_lets(program, catalog.mappings())
+    env = catalog.globals()
+    assert values_equal(evaluate(substituted, env), evaluate(let_form, env))
+    # The let chain only binds the tensors the program actually uses.
+    assert str(let_form).count("let") >= 2
+
+
+def test_composed_plan_evaluates_to_reference():
+    catalog = make_catalog()
+    naive = compose(BATAX_NESTED.program, catalog.mappings())
+    a = catalog["A"].to_dense()
+    x = catalog["X"].to_dense()
+    expected = 2.0 * (a.T @ (a @ x))
+    result = evaluate(naive, catalog.globals())
+    got = np.array([result.get(j, 0.0) for j in range(6)])
+    np.testing.assert_allclose(got, expected)
+
+
+# ---------------------------------------------------------------------------
+# rule base
+# ---------------------------------------------------------------------------
+
+
+def test_rule_base_size_matches_paper_scale():
+    names = rule_names()
+    assert len(names) == len(set(names)), "duplicate rule names"
+    # The paper uses 44 rules; this rule base is the same order of magnitude.
+    assert 40 <= len(names) <= 50
+    assert len(logical_rules()) + len(physical_rules()) == len(all_rules())
+
+
+def test_rule_groups_are_nonempty():
+    assert len(associativity_commutativity_rules()) >= 8
+    assert len(simplification_rules()) >= 10
+    assert len(distributivity_rules()) >= 6
+    assert len(fusion_rules()) >= 5
+    assert len(dictionary_rules()) >= 7
+    assert len(physical_annotation_rules()) == 2
+
+
+def run_rules(expr, rules, iters=8):
+    egraph = EGraph()
+    root = egraph.add_expr(expr)
+    Runner(egraph, rules, iter_limit=iters, node_limit=4000).run()
+    return egraph, root
+
+
+def test_simplification_rules_clean_up_identities():
+    egraph, root = run_rules(db("(x * 1 + 0) - 0"), simplification_rules())
+    assert extract_smallest(egraph, root) == Sym("x")
+
+
+def test_distributivity_rule_proves_paper_intro_example():
+    """a*(b+c) and a*b + a*c must land in the same e-class (Sec. 1 example)."""
+    egraph = EGraph()
+    left = egraph.add_expr(db("a * (b + c)"))
+    right = egraph.add_expr(db("a * b + a * c"))
+    Runner(egraph, logical_rules(), iter_limit=6, node_limit=4000).run()
+    assert egraph.equivalent(left, right)
+
+
+def test_factorization_rule_hoists_invariant_factor():
+    egraph, root = run_rules(db("sum(<i, v> in A) beta * v"),
+                             distributivity_rules() + simplification_rules())
+    hoisted = egraph.contains_expr(db("beta * (sum(<i, v> in A) v)"))
+    assert hoisted is not None and egraph.equivalent(root, hoisted)
+
+
+def test_fusion_rule_converts_iteration_to_lookup():
+    """Example 5.1 of the paper: a filtered iteration becomes a lookup."""
+    expr = db("sum(<i, a> in A) sum(<j, b> in B) if (i == j) then a * b")
+    egraph, root = run_rules(expr, logical_rules() + fusion_rules())
+    # After F1 the plan contains a direct lookup B(i).
+    found_lookup = egraph.contains_expr(db("sum(<i, a> in A) let v = B(i) in a * v"))
+    assert found_lookup is not None and egraph.equivalent(root, found_lookup)
+
+
+def test_physical_annotation_rules_offer_both_representations():
+    egraph, root = run_rules(db("{ 3 -> x }"), physical_annotation_rules(), iters=2)
+    dense = egraph.contains_expr(db("{ @dense 3 -> x }"))
+    hashed = egraph.contains_expr(db("{ @hash 3 -> x }"))
+    assert dense is not None and hashed is not None
+    assert egraph.equivalent(root, dense) and egraph.equivalent(root, hashed)
+
+
+def test_rules_preserve_semantics_through_saturation():
+    """Extract any representative after saturation and compare against the input."""
+    catalog = make_catalog()
+    env = catalog.globals()
+    sources = [
+        "sum(<i, v> in A_val) v * beta",
+        "sum(<i, v> in A_val) { i -> beta * v + 0 }",
+        "sum(<i, v> in A_val) if (i == 2) then v * 1",
+        "sum(<i, v> in X_val) { i -> v } + sum(<i, v> in X_val) { i -> v }",
+    ]
+    for source in sources:
+        expr = db(source)
+        reference = evaluate(expr, env)
+        egraph, root = run_rules(expr, logical_rules() + fusion_rules())
+        extracted = extract_smallest(egraph, root)
+        assert values_equal(evaluate(extracted, env), reference), source

@@ -1,0 +1,111 @@
+"""Tests for the nameless (De Bruijn) representation."""
+
+import pytest
+
+from repro.sdqlite.ast import (
+    Add,
+    Const,
+    DictExpr,
+    Get,
+    Idx,
+    Let,
+    Mul,
+    Sum,
+    Sym,
+    Var,
+)
+from repro.sdqlite.debruijn import (
+    alpha_equivalent,
+    free_indices,
+    is_closed,
+    shift,
+    substitute,
+    to_debruijn,
+    to_named,
+    uses_indices,
+)
+from repro.sdqlite.errors import ScopeError
+from repro.sdqlite.parser import parse_expr
+
+
+def named_sum(body):
+    return Sum(Sym("A"), body, key_name="i", val_name="v")
+
+
+def test_to_debruijn_simple_sum():
+    expr = named_sum(DictExpr(Var("i"), Mul(Const(5), Var("v"))))
+    nameless = to_debruijn(expr)
+    assert nameless == Sum(Sym("A"), DictExpr(Idx(1), Mul(Const(5), Idx(0))))
+
+
+def test_to_debruijn_let_and_nested_sums():
+    expr = parse_expr("sum(<i, a> in A) sum(<j, b> in B) { i -> a * b }")
+    nameless = to_debruijn(expr)
+    body = nameless.body.body
+    # i is two binders away (inner sum binds j=%1, b=%0), so i -> %3, a -> %2.
+    assert body == DictExpr(Idx(3), Mul(Idx(2), Idx(0)))
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(ScopeError):
+        to_debruijn(Var("loose"))
+
+
+def test_to_named_roundtrip():
+    expr = parse_expr("sum(<i, a> in A) let t = a * 2 in { i -> t + a }")
+    nameless = to_debruijn(expr)
+    named_again = to_named(nameless)
+    assert to_debruijn(named_again) == nameless
+
+
+def test_alpha_equivalence():
+    e1 = parse_expr("let x = 3 in x * 2")
+    e2 = parse_expr("let y = 3 in y * 2")
+    assert alpha_equivalent(e1, e2)
+    e3 = parse_expr("let y = 4 in y * 2")
+    assert not alpha_equivalent(e1, e3)
+
+
+def test_free_indices_and_closed():
+    body = Add(Idx(0), Idx(2))
+    assert free_indices(body) == frozenset({0, 2})
+    under_sum = Sum(Sym("A"), body)
+    assert free_indices(under_sum) == frozenset({0})
+    assert not is_closed(under_sum)
+    assert is_closed(Sum(Sym("A"), Add(Idx(0), Idx(1))))
+    assert uses_indices(body, [2])
+    assert not uses_indices(body, [5])
+
+
+def test_shift_respects_cutoff_and_binders():
+    expr = Sum(Idx(0), Add(Idx(0), Idx(3)))
+    shifted = shift(expr, 2)
+    # The source %0 is free -> becomes %2; inside the body, %0 and %1 are bound,
+    # %3 refers to the outside (index 1 outside) and becomes %5.
+    assert shifted == Sum(Idx(2), Add(Idx(0), Idx(5)))
+
+
+def test_shift_below_zero_raises():
+    with pytest.raises(ScopeError):
+        shift(Idx(0), -1)
+
+
+def test_substitute_basic():
+    # let x = C in x + %0(outer)  -- substituting the let away lowers the outer index
+    body = Add(Idx(0), Idx(1))
+    result = substitute(body, 0, Sym("C"))
+    assert result == Add(Sym("C"), Idx(0))
+
+
+def test_substitute_under_binder_shifts_replacement():
+    # Substitute %0 by (the outer variable %0) inside a Sum body: the
+    # replacement must be shifted past the sum's two binders.
+    expr = Sum(Sym("A"), Mul(Idx(0), Idx(2)))
+    result = substitute(expr, 0, Idx(0))
+    assert result == Sum(Sym("A"), Mul(Idx(0), Idx(2)))
+
+
+def test_get_and_dict_conversion():
+    expr = parse_expr("sum(<i, v> in A) { i -> B(i) * v }")
+    nameless = to_debruijn(expr)
+    assert nameless.body == DictExpr(Idx(1), Mul(Get(Sym("B"), Idx(1)), Idx(0)))

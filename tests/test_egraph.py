@@ -1,0 +1,264 @@
+"""Tests for the equality-saturation engine (union-find, e-graph, matching, extraction)."""
+
+import pytest
+
+from repro.egraph import (
+    EGraph,
+    ENode,
+    Extractor,
+    Pattern,
+    Rewrite,
+    Runner,
+    UnionFind,
+    ast_size_cost,
+    bidirectional,
+    extract_smallest,
+    parse_pattern,
+    var_independent_of,
+)
+from repro.sdqlite import parse_expr, to_debruijn
+from repro.sdqlite.ast import Add, Const, Idx, Mul, Sym, Var
+
+
+def db(source: str):
+    return to_debruijn(parse_expr(source))
+
+
+# ---------------------------------------------------------------------------
+# union-find
+# ---------------------------------------------------------------------------
+
+
+def test_unionfind_bashorizontal():
+    uf = UnionFind()
+    ids = [uf.make_set() for _ in range(5)]
+    assert len(uf) == 5
+    assert all(uf.find(i) == i for i in ids)
+    uf.union(0, 1)
+    uf.union(3, 4)
+    assert uf.connected(0, 1)
+    assert not uf.connected(1, 2)
+    uf.union(1, 3)
+    assert uf.connected(0, 4)
+    # representative is stable under repeated finds
+    assert uf.find(0) == uf.find(4)
+
+
+# ---------------------------------------------------------------------------
+# e-graph core
+# ---------------------------------------------------------------------------
+
+
+def test_add_expr_hashconses_identical_subterms():
+    egraph = EGraph()
+    expr = db("(a + b) * (a + b)")
+    root = egraph.add_expr(expr)
+    # a, b, a+b, (a+b)*(a+b): 4 classes only
+    assert egraph.num_classes == 4
+    assert egraph.find(root) == root
+    # adding the same expression again creates nothing new
+    again = egraph.add_expr(expr)
+    assert egraph.find(again) == egraph.find(root)
+    assert egraph.num_classes == 4
+    egraph.sanity_check()
+
+
+def test_union_and_congruence_closure():
+    egraph = EGraph()
+    a = egraph.add_expr(Sym("a"))
+    b = egraph.add_expr(Sym("b"))
+    fa = egraph.add_expr(Mul(Sym("a"), Const(2)))
+    fb = egraph.add_expr(Mul(Sym("b"), Const(2)))
+    assert not egraph.equivalent(fa, fb)
+    egraph.union(a, b)
+    egraph.rebuild()
+    # congruence: a == b implies a*2 == b*2
+    assert egraph.equivalent(fa, fb)
+    egraph.sanity_check()
+
+
+def test_best_term_tracks_smallest_representative():
+    egraph = EGraph()
+    big = db("a * 1 + 0")
+    small = db("a")
+    root = egraph.add_expr(big)
+    other = egraph.add_expr(small)
+    egraph.union(root, other)
+    egraph.rebuild()
+    assert egraph.best_term(root) == Sym("a")
+
+
+def test_free_vars_analysis():
+    egraph = EGraph()
+    # sum(<k,v> in A) %0 * %2  : %2 inside the body is free (refers outside)
+    expr = to_debruijn(parse_expr("sum(<k, v> in A) v * 2"))
+    inner = Mul(Idx(0), Idx(2))
+    body_id = egraph.add_expr(inner)
+    assert egraph.free_vars(body_id) == frozenset({0, 2})
+    from repro.sdqlite.ast import Sum
+
+    root = egraph.add_expr(Sum(Sym("A"), inner))
+    assert egraph.free_vars(root) == frozenset({0})
+    closed = egraph.add_expr(expr)
+    assert egraph.free_vars(closed) == frozenset()
+
+
+def test_free_vars_refined_by_union():
+    egraph = EGraph()
+    uses = egraph.add_expr(Mul(Idx(0), Const(0)))     # mentions %0 ...
+    zero = egraph.add_expr(Const(0))                  # ... but is equal to 0
+    assert egraph.free_vars(uses) == frozenset({0})
+    egraph.union(uses, zero)
+    egraph.rebuild()
+    assert egraph.free_vars(uses) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# pattern matching
+# ---------------------------------------------------------------------------
+
+
+def test_pattern_parse_and_variables():
+    pattern = Pattern("?a * (?b + ?c)")
+    assert pattern.variables == ["?a", "?b", "?c"]
+    pattern = Pattern("sum(<k, v> in ?e) %0")
+    assert pattern.variables == ["?e"]
+
+
+def test_pattern_matching_simple():
+    egraph = EGraph()
+    root = egraph.add_expr(db("x * (y + z)"))
+    matches = Pattern("?a * (?b + ?c)").search(egraph)
+    assert len(matches) == 1
+    identifier, subst = matches[0]
+    assert egraph.find(identifier) == egraph.find(root)
+    assert egraph.best_term(subst["?a"]) == Sym("x")
+    assert egraph.best_term(subst["?c"]) == Sym("z")
+
+
+def test_pattern_repeated_variable_requires_same_class():
+    egraph = EGraph()
+    egraph.add_expr(db("x * x"))
+    egraph.add_expr(db("x * y"))
+    matches = Pattern("?a * ?a").search(egraph)
+    assert len(matches) == 1
+
+
+def test_pattern_instantiation_adds_nodes():
+    egraph = EGraph()
+    egraph.add_expr(db("x + y"))
+    (identifier, subst), = Pattern("?a + ?b").search(egraph)
+    new_id = Pattern("?b + ?a").instantiate(egraph, subst)
+    assert egraph.best_term(new_id) == Add(Sym("y"), Sym("x"))
+
+
+def test_pattern_matches_binders_with_indices():
+    egraph = EGraph()
+    root = egraph.add_expr(db("sum(<i, v> in A) { i -> v }"))
+    matches = Pattern("sum(<k, v> in ?e) { %1 -> %0 }").search(egraph)
+    assert len(matches) == 1
+    assert egraph.find(matches[0][0]) == egraph.find(root)
+
+
+# ---------------------------------------------------------------------------
+# rewriting + runner
+# ---------------------------------------------------------------------------
+
+
+def simple_rules():
+    rules = []
+    rules += bidirectional("mul-comm", "?a * ?b", "?b * ?a")
+    rules += bidirectional("add-comm", "?a + ?b", "?b + ?a")
+    rules.append(Rewrite.syntactic("mul-one", "?a * 1", "?a"))
+    rules.append(Rewrite.syntactic("add-zero", "?a + 0", "?a"))
+    rules += bidirectional("distribute", "?a * (?b + ?c)", "?a * ?b + ?a * ?c")
+    return rules
+
+
+def test_runner_saturates_and_proves_equalities():
+    egraph = EGraph()
+    left = egraph.add_expr(db("a * (b + c)"))
+    right = egraph.add_expr(db("c * a + b * a"))
+    report = Runner(egraph, simple_rules(), iter_limit=10).run()
+    assert report.stop_reason in ("saturated", "iter_limit")
+    assert egraph.equivalent(left, right)
+    assert report.nodes > 0 and report.classes > 0 and report.memo > 0
+    assert report.iterations >= 1
+    assert len(report.per_iteration) == report.iterations
+
+
+def test_runner_simplifies_with_extraction():
+    egraph = EGraph()
+    root = egraph.add_expr(db("(x * 1 + 0) * (1 * 1)"))
+    Runner(egraph, simple_rules(), iter_limit=10).run()
+    best = extract_smallest(egraph, root)
+    assert best == Sym("x")
+
+
+def test_conditional_rule_respects_free_vars():
+    # Hoist ?e out of a sum only when it does not use the bound variables.
+    def hoist(egraph, enode, term, subst):
+        from repro.sdqlite.ast import Mul, Sum
+        from repro.sdqlite.debruijn import shift
+
+        factor = egraph.best_term(subst["?f"])
+        rest = egraph.best_term(subst["?r"])
+        return Mul(shift(factor, -2), Sum(egraph.best_term(subst["?e"]), rest))
+
+    rule = Rewrite.make_dynamic(
+        "hoist", "sum(<k, v> in ?e) ?f * ?r", hoist,
+        var_independent_of("?f", 0, 1),
+    )
+    egraph = EGraph()
+    # beta does not depend on the loop variables -> rule applies
+    root = egraph.add_expr(db("sum(<i, v> in A) beta * v"))
+    report = Runner(egraph, [rule], iter_limit=3).run()
+    expected = egraph.contains_expr(db("beta * (sum(<i, v> in A) v)"))
+    assert expected is not None and egraph.equivalent(root, expected)
+    # v depends on the loop -> rule must not fire
+    egraph2 = EGraph()
+    root2 = egraph2.add_expr(db("sum(<i, v> in A) v * v"))
+    Runner(egraph2, [rule], iter_limit=3).run()
+    bad = egraph2.contains_expr(db("sum(<i, v> in A) v * v"))
+    assert egraph2.num_classes == 4  # nothing new was added
+
+
+def test_runner_node_limit_stops():
+    # With a very small node budget the runner stops on the node limit
+    # instead of saturating.
+    egraph = EGraph()
+    egraph.add_expr(db("a * (b + c) * (d + e)"))
+    report = Runner(egraph, simple_rules(), iter_limit=50, node_limit=12).run()
+    assert report.stop_reason == "node_limit"
+    assert report.nodes >= 12
+
+
+def test_runner_iteration_limit_stops():
+    egraph = EGraph()
+    egraph.add_expr(db("a * (b + c) * (d + e) * (f + g)"))
+    report = Runner(egraph, simple_rules(), iter_limit=1, node_limit=10_000_000).run()
+    assert report.stop_reason == "iter_limit"
+    assert report.iterations == 1
+
+
+def test_extractor_with_custom_cost():
+    egraph = EGraph()
+    root = egraph.add_expr(db("a * (b + c)"))
+    Runner(egraph, simple_rules(), iter_limit=6).run()
+
+    def prefer_factored(enode, child_costs):
+        # Make '+' of two products expensive so the factored form wins.
+        penalty = 10.0 if enode.head == "add" else 0.0
+        return 1.0 + penalty + sum(child_costs)
+
+    extractor = Extractor(egraph, prefer_factored)
+    best = extractor.extract(root)
+    assert isinstance(best, Mul)
+    assert extractor.cost_of(root) < 20
+
+
+def test_extract_raises_on_unknown_class():
+    egraph = EGraph()
+    egraph.add_expr(db("x"))
+    with pytest.raises((KeyError, IndexError)):
+        egraph[99]

@@ -1,0 +1,127 @@
+"""Tests for the execution engine: code generation agrees with the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.core import compose, strategies
+from repro.data.synthetic import random_dense_vector, random_sparse_matrix, random_sparse_tensor3
+from repro.execution import (
+    ExecutionEngine,
+    compile_plan,
+    result_to_dense,
+    result_to_matrix,
+    result_to_scalar,
+    result_to_vector,
+)
+from repro.kernels import KERNELS
+from repro.sdqlite import evaluate, parse_expr, to_debruijn, values_equal
+from repro.sdqlite.errors import ExecutionError
+from repro.sdqlite.values import to_plain
+from repro.storage import Catalog, CSFFormat, CSRFormat, DenseFormat, DOKFormat
+
+
+def db(source):
+    return to_debruijn(parse_expr(source))
+
+
+def both_backends(plan, env):
+    compiled = compile_plan(plan)(env)
+    interpreted = evaluate(plan, env)
+    assert values_equal(compiled, interpreted)
+    return compiled
+
+
+def test_codegen_scalar_expressions():
+    assert compile_plan(db("1 + 2 * 3"))({}) == 7
+    assert compile_plan(db("let x = 4 in x * x"))({}) == 16
+    assert compile_plan(db("if (2 > 3) then 5"))({}) == 0
+    assert compile_plan(db("if (3 > 2) then 5"))({}) == 5
+
+
+def test_codegen_sum_and_dict():
+    env = {"V": {0: 2.0, 3: -1.0, 5: 4.0}}
+    result = both_backends(db("sum(<i, v> in V) if (v > 0) then { i -> 5 * v }"), env)
+    assert to_plain(result) == {0: 10.0, 5: 20.0}
+
+
+def test_codegen_range_slice_and_lookup():
+    env = {"A_val": np.array([1.0, 2.0, 3.0, 4.0]), "N": 4}
+    result = both_backends(db("sum(<i, _> in 0:N) { i -> A_val(i) * 2 }"), env)
+    assert to_plain(result) == {0: 2.0, 1: 4.0, 2: 6.0, 3: 8.0}
+    result = both_backends(db("sum(<p, v> in A_val(1:3)) v"), env)
+    assert result == pytest.approx(5.0)
+    assert both_backends(db("A_val(9)"), env) == 0
+
+
+def test_codegen_merge():
+    env = {"L": {0: 3, 1: 5}, "R": {0: 5, 1: 3, 2: 5},
+           "V1": np.array([1.0, 2.0]), "V2": np.array([10.0, 20.0, 30.0])}
+    plan = db("merge(<p1, p2, l> in <L, R>) { l -> V1(p1) * V2(p2) }")
+    result = both_backends(plan, env)
+    assert to_plain(result) == {5: 2.0 * 10.0 + 2.0 * 30.0, 3: 1.0 * 20.0}
+
+
+def test_codegen_named_variables_rejected():
+    with pytest.raises(ExecutionError):
+        compile_plan(parse_expr("sum(<i, v> in V) { i -> v }"))  # named form
+
+
+def test_codegen_source_is_inspectable():
+    plan = db("sum(<i, v> in V) { i -> v }")
+    compiled = compile_plan(plan, name="my_plan")
+    assert "def my_plan(_env):" in compiled.source
+    assert "_iter" in compiled.source
+
+
+@pytest.mark.parametrize("kernel_name", ["MMM", "SUMMM", "BATAX", "BATAX-nested", "TTM", "MTTKRP"])
+def test_codegen_matches_interpreter_on_all_kernels(kernel_name):
+    kernel = KERNELS[kernel_name]
+    size = 8
+    catalog = Catalog()
+    a = random_sparse_matrix(size, size, 0.3, seed=21)
+    if kernel_name in ("MMM", "SUMMM"):
+        catalog.add(CSRFormat.from_dense("A", a))
+        catalog.add(CSRFormat.from_dense("B", random_sparse_matrix(size, size, 0.3, seed=22)))
+    elif kernel_name.startswith("BATAX"):
+        catalog.add(CSRFormat.from_dense("A", a))
+        catalog.add(DenseFormat.from_dense("X", random_dense_vector(size, seed=23)))
+        catalog.add_scalar("beta", 2.0)
+    else:
+        coords, values = random_sparse_tensor3(size, 5, 6, 0.1, seed=24)
+        catalog.add(CSFFormat.from_coo("A", coords, values, (size, 5, 6)))
+        catalog.add(CSRFormat.from_dense("B", random_sparse_matrix(5 if kernel_name == "MTTKRP" else 4, 6 if kernel_name == "TTM" else 4, 0.5, seed=25)))
+        if kernel_name == "MTTKRP":
+            catalog.add(CSRFormat.from_dense("C", random_sparse_matrix(6, 4, 0.5, seed=26)))
+    naive = compose(kernel.program, catalog.mappings())
+    env = catalog.globals()
+    for name, plan in strategies.candidate_plans(naive).items():
+        both_backends(plan, env)
+
+
+def test_execution_engine_backends_agree():
+    catalog = Catalog()
+    catalog.add(DOKFormat.from_dense("A", random_sparse_matrix(6, 6, 0.4, seed=31)))
+    plan = db("sum(<(i,j), v> in A_hash) { i -> v }")
+    compiled_engine = ExecutionEngine.for_catalog(catalog, backend="compile")
+    interpreted_engine = ExecutionEngine.for_catalog(catalog, backend="interpret")
+    assert values_equal(compiled_engine.run(plan), interpreted_engine.run(plan))
+    prepared = compiled_engine.prepare(plan)
+    assert "def" in prepared.source
+    assert interpreted_engine.prepare(plan).source == "<interpreted>"
+    with pytest.raises(ExecutionError):
+        ExecutionEngine(env={}, backend="julia").prepare(plan)
+
+
+def test_result_conversions():
+    assert result_to_scalar(5.0) == 5.0
+    assert result_to_scalar({}) == 0.0
+    with pytest.raises(ExecutionError):
+        result_to_scalar({1: 2.0})
+    np.testing.assert_array_equal(result_to_vector({0: 1.0, 3: 2.0}, 5),
+                                  [1.0, 0.0, 0.0, 2.0, 0.0])
+    np.testing.assert_array_equal(result_to_matrix({0: {1: 3.0}}, (2, 2)),
+                                  [[0.0, 3.0], [0.0, 0.0]])
+    tensor = result_to_dense({0: {1: {2: 4.0}}}, (2, 2, 3))
+    assert tensor[0, 1, 2] == 4.0
+    assert result_to_dense(7.5, ()) == 7.5
+    np.testing.assert_array_equal(result_to_dense(0, (2,)), [0.0, 0.0])

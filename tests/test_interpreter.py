@@ -1,0 +1,202 @@
+"""Tests for the SDQLite reference interpreter and runtime values."""
+
+import numpy as np
+import pytest
+
+from repro.sdqlite import evaluate, parse_expr, to_debruijn
+from repro.sdqlite.errors import EvaluationError
+from repro.sdqlite.values import (
+    RangeDict,
+    SemiringDict,
+    SliceDict,
+    is_zero,
+    to_plain,
+    v_add,
+    v_mul,
+    values_equal,
+)
+
+
+def ev(source, **globals_):
+    return evaluate(parse_expr(source), globals_)
+
+
+def test_scalar_arithmetic():
+    assert ev("1 + 2 * 3") == 7
+    assert ev("(1 + 2) * 3") == 9
+    assert ev("10 - 4 - 3") == 3
+    assert ev("7 / 2") == 3.5
+    assert ev("-(3)") == -3
+
+
+def test_comparisons_and_boolean_logic():
+    assert ev("3 < 4") is True
+    assert ev("3 >= 4") is False
+    assert ev("(1 < 2) && (2 < 3)") is True
+    assert ev("(1 > 2) || (2 < 3)") is True
+    assert ev("!(1 == 1)") is False
+
+
+def test_if_then_returns_zero_when_false():
+    assert ev("if (1 > 2) then 5") == 0
+    assert ev("if (2 > 1) then 5") == 5
+
+
+def test_dict_construction_and_lookup():
+    result = ev("{ 1 -> 10, 3 -> 30 }")
+    assert to_plain(result) == {1: 10, 3: 30}
+    assert ev("{ 1 -> 10, 3 -> 30 }(3)") == 30
+    assert ev("{ 1 -> 10 }(2)") == 0
+
+
+def test_zero_values_are_pruned():
+    result = ev("{ 1 -> 0 }")
+    assert to_plain(result) == {}
+    assert is_zero(result)
+
+
+def test_range_and_slice():
+    result = ev("0:4")
+    # Note: key 0 maps to the semiring zero, so it is pruned from the
+    # materialized view — iteration (used by sums) still visits it.
+    assert to_plain(result) == {1: 1, 2: 2, 3: 3}
+    assert list(result.items())[0] == (0, 0)
+    v = np.array([9.0, 0.0, 7.0, 5.0])
+    result = ev("v_val(1:3)", v_val=v)
+    assert to_plain(result) == {2: 7.0}
+    assert result.get(1) == 0.0 and result.get(2) == 7.0
+    assert ev("(2:5)(3)") == 3
+    assert ev("(2:5)(7)") == 0
+
+
+def test_sum_filter_example_from_paper():
+    # Transform a vector by removing negative values and multiplying by 5.
+    v = {0: 2.0, 1: -1.0, 2: -3.0, 3: 4.0, 4: 5.0}
+    result = ev("sum(<i, v> in V) if (v > 0) then { i -> 5 * v }", V=v)
+    assert to_plain(result) == {0: 10.0, 3: 20.0, 4: 25.0}
+
+
+def test_dot_product_and_elementwise_product():
+    u = {0: 1.0, 2: 3.0}
+    v = {0: 2.0, 1: 5.0, 2: 4.0}
+    dot = ev("sum(<i, u> in U, <i, v> in V) {() -> u * v}", U=u, V=v)
+    assert dot == pytest.approx(1 * 2 + 3 * 4)
+    prod = ev("sum(<i, u> in U, <i, v> in V) {i -> u * v}", U=u, V=v)
+    assert to_plain(prod) == {0: 2.0, 2: 12.0}
+
+
+def test_matrix_multiplication_with_nested_dicts():
+    a = {0: {0: 1.0, 1: 2.0}, 1: {1: 3.0}}
+    b = {0: {0: 4.0}, 1: {0: 5.0, 1: 6.0}}
+    result = ev("sum(<(i,j), a> in A, <(j,k), b> in B) {(i,k) -> a * b}", A=a, B=b)
+    expected = {0: {0: 1 * 4 + 2 * 5, 1: 2 * 6.0}, 1: {0: 3 * 5.0, 1: 3 * 6.0}}
+    assert values_equal(result, expected)
+
+
+def test_matrix_multiplication_dense_index_form():
+    rng = np.random.default_rng(0)
+    a = rng.random((3, 4))
+    b = rng.random((4, 2))
+    result = ev(
+        "sum(<i,_> in 0:3, <j,_> in 0:4, <k,_> in 0:2) {(i,k) -> A(i,j) * B(j,k)}",
+        A=a, B=b,
+    )
+    expected = a @ b
+    for i in range(3):
+        for k in range(2):
+            assert result[i][k] == pytest.approx(expected[i, k])
+
+
+def test_let_binding():
+    assert ev("let x = 3 in x * x") == 9
+    assert ev("let x = 2, y = 5 in x + y") == 7
+
+
+def test_scalar_times_dictionary_overload():
+    v = {0: 1.0, 3: 2.0}
+    result = ev("2 * V", V=v)
+    assert to_plain(result) == {0: 2.0, 3: 4.0}
+    result = ev("sum(<i, v> in V) {i -> a * v}", V=v, a=2)
+    assert to_plain(result) == {0: 2.0, 3: 4.0}
+
+
+def test_sum_addition_acts_as_group_by():
+    # {i -> x} + {i -> y} = {i -> x + y}
+    pairs = {0: {0: 1.0, 1: 2.0}, 1: {0: 3.0, 1: 4.0}}
+    result = ev("sum(<i, row> in M, <j, v> in row) { j -> v }", M=pairs)
+    assert to_plain(result) == {0: 4.0, 1: 6.0}
+
+
+def test_merge_matches_on_values():
+    source = """
+    merge(<p1, p2, l> in <L, R>) { l -> V1(p1) * V2(p2) }
+    """
+    left = {0: 3, 1: 5, 2: 8}     # positions -> index values
+    right = {0: 5, 1: 7, 2: 8}
+    v1 = np.array([1.0, 2.0, 3.0])
+    v2 = np.array([10.0, 20.0, 30.0])
+    result = evaluate(parse_expr(source), {"L": left, "R": right, "V1": v1, "V2": v2})
+    # matching values: 5 (pos 1 left, pos 0 right) and 8 (pos 2 left, pos 2 right)
+    assert to_plain(result) == {5: 2.0 * 10.0, 8: 3.0 * 30.0}
+
+
+def test_merge_equivalent_to_nested_sum_filter():
+    left = {0: 3, 1: 5}
+    right = {0: 5, 1: 3}
+    merged = evaluate(
+        parse_expr("merge(<p1, p2, l> in <L, R>) { l -> 1 }"), {"L": left, "R": right}
+    )
+    nested = evaluate(
+        parse_expr("sum(<p1, v1> in L, <p2, v2> in R) if (v1 == v2) then { v1 -> 1 }"),
+        {"L": left, "R": right},
+    )
+    assert values_equal(merged, nested)
+
+
+def test_numpy_matrix_as_nested_dictionary():
+    m = np.array([[1.0, 0.0], [0.0, 2.0]])
+    result = ev("sum(<i, row> in M, <j, v> in row) {(i, j) -> v * 10}", M=m)
+    assert values_equal(result, {0: {0: 10.0}, 1: {1: 20.0}})
+
+
+def test_debruijn_form_evaluates_identically():
+    source = "sum(<i, v> in V) { i -> v * v }"
+    v = {0: 2.0, 5: 3.0}
+    named = parse_expr(source)
+    nameless = to_debruijn(named)
+    assert values_equal(evaluate(named, {"V": v}), evaluate(nameless, {"V": v}))
+
+
+def test_evaluation_errors():
+    with pytest.raises(EvaluationError):
+        ev("undefined_symbol")
+    with pytest.raises(EvaluationError):
+        ev("sum(<i, v> in 5) v")
+    with pytest.raises(EvaluationError):
+        ev("3(1)")
+
+
+def test_semiring_value_helpers():
+    a = SemiringDict({1: 2.0, 2: 0.0})
+    b = SemiringDict({1: 3.0, 4: 5.0})
+    assert to_plain(v_add(a, b)) == {1: 5.0, 4: 5.0}
+    assert to_plain(v_mul(a, b)) == {1: 6.0}
+    assert to_plain(v_mul(2, b)) == {1: 6.0, 4: 10.0}
+    assert is_zero(SemiringDict({}))
+    assert v_add(0, b) is b
+    r = RangeDict(2, 5)
+    assert list(r.items()) == [(2, 2), (3, 3), (4, 4)]
+    s = SliceDict(np.array([1.0, 2.0, 3.0]), 1, 3)
+    assert to_plain(s) == {1: 2.0, 2: 3.0}
+
+
+def test_lower_triangular_storage_mapping():
+    # Example 4.3-style custom mapping: dense lower-triangular matrix.
+    n = 3
+    a_val = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    source = """
+    sum(<i,_> in 0:N, <j,_> in 0:(i+1)) {(i,j) -> A_val(i*(i+1)/2+j)}
+    """
+    result = evaluate(parse_expr(source), {"N": n, "A_val": a_val})
+    expected = {0: {0: 1.0}, 1: {0: 2.0, 1: 3.0}, 2: {0: 4.0, 1: 5.0, 2: 6.0}}
+    assert values_equal(result, expected)

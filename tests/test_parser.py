@@ -1,0 +1,243 @@
+"""Tests for the SDQLite parser, desugaring, and pretty printer."""
+
+import pytest
+
+from repro.sdqlite.ast import (
+    Add,
+    Cmp,
+    Const,
+    DictExpr,
+    Get,
+    IfThen,
+    Let,
+    Merge,
+    Mul,
+    RangeExpr,
+    SliceGet,
+    Sub,
+    Sum,
+    Sym,
+    Var,
+)
+from repro.sdqlite.debruijn import to_debruijn
+from repro.sdqlite.errors import ParseError
+from repro.sdqlite.parser import (
+    ArrayDecl,
+    HashMapDecl,
+    ScalarDecl,
+    TensorDecl,
+    TrieDecl,
+    parse_expr,
+    parse_program,
+)
+from repro.sdqlite.pretty import pretty
+
+
+def test_parse_arithmetic_precedence():
+    expr = parse_expr("1 + 2 * 3")
+    assert expr == Add(Const(1), Mul(Const(2), Const(3)))
+    expr = parse_expr("(1 + 2) * 3")
+    assert expr == Mul(Add(Const(1), Const(2)), Const(3))
+    assert parse_expr("2 - 1 - 1") == Sub(Sub(Const(2), Const(1)), Const(1))
+
+
+def test_parse_lookup_and_slice():
+    expr = parse_expr("C_val(off)")
+    assert expr == Get(Sym("C_val"), Sym("off"))
+    expr = parse_expr("C_idx2(C_pos2(row):C_pos2(row+1))")
+    assert expr == SliceGet(
+        Sym("C_idx2"),
+        Get(Sym("C_pos2"), Sym("row")),
+        Get(Sym("C_pos2"), Add(Sym("row"), Const(1))),
+    )
+    # Curried multi-key lookup A(i, j) == A(i)(j)
+    assert parse_expr("A(i, j)") == Get(Get(Sym("A"), Sym("i")), Sym("j"))
+
+
+def test_parse_range():
+    assert parse_expr("0:M") == RangeExpr(Const(0), Sym("M"))
+
+
+def test_parse_simple_sum_binds_variables():
+    expr = parse_expr("sum(<i, v> in V) if (v > 0) then { i -> 5 * v }")
+    assert isinstance(expr, Sum)
+    assert expr.source == Sym("V")
+    assert expr.key_name == "i" and expr.val_name == "v"
+    body = expr.body
+    assert isinstance(body, IfThen)
+    assert body.cond == Cmp(">", Var("v"), Const(0))
+    assert body.then == DictExpr(Var("i"), Mul(Const(5), Var("v")))
+
+
+def test_parse_dot_product_repeated_variable():
+    expr = parse_expr("sum(<i, u> in U, <i, v> in V) {() -> u * v}")
+    # Desugars to two nested sums with an equality filter on the two i's.
+    assert isinstance(expr, Sum) and isinstance(expr.body, Sum)
+    inner_body = expr.body.body
+    assert isinstance(inner_body, IfThen)
+    assert inner_body.cond.op == "=="
+    assert inner_body.then == Mul(Var("u"), Var("v"))
+    # The whole thing must convert cleanly to De Bruijn form.
+    to_debruijn(expr)
+
+
+def test_parse_tuple_key_binding():
+    expr = parse_expr("sum(<(i, j), a> in A) { (i, j) -> a }")
+    assert isinstance(expr, Sum) and isinstance(expr.body, Sum)
+    assert expr.key_name == "i"
+    assert expr.body.key_name == "j" and expr.body.val_name == "a"
+    inner = expr.body.body
+    assert inner == DictExpr(Var("i"), DictExpr(Var("j"), Var("a")))
+
+
+def test_parse_matrix_multiplication_desugars_like_paper():
+    expr = parse_expr("sum(<(i,j), a> in A, <(j,k), b> in B) {(i,k) -> a * b}")
+    nameless = to_debruijn(expr)  # must be well-scoped
+    text = pretty(nameless)
+    assert "sum" in text and "->" in text
+
+
+def test_parse_let_multi_binding():
+    expr = parse_expr("let j_start = C_pos2(i_pos), j_end = C_pos2(i_pos+1) in j_end - j_start")
+    assert isinstance(expr, Let) and isinstance(expr.body, Let)
+    assert expr.name == "j_start"
+    assert expr.body.name == "j_end"
+
+
+def test_parse_if_without_then():
+    expr = parse_expr("if (v > 0) { i -> v }")
+    assert isinstance(expr, IfThen)
+
+
+def test_parse_unique_and_physical_annotations():
+    expr = parse_expr("{ @unique row -> 1 }")
+    assert isinstance(expr, DictExpr) and expr.unique
+    expr = parse_expr("{ @dense i -> 2 }")
+    assert expr.annot == "dense"
+    expr = parse_expr("{ @hash i -> 2 }")
+    assert expr.annot == "hash"
+    with pytest.raises(ParseError):
+        parse_expr("{ @bogus i -> 2 }")
+
+
+def test_parse_multi_entry_dict_literal():
+    expr = parse_expr("{ (p,p+1) -> 1, (p+1,p) -> 2 }")
+    assert isinstance(expr, Add)
+    assert isinstance(expr.left, DictExpr) and isinstance(expr.right, DictExpr)
+
+
+def test_parse_scalar_dict_entry():
+    expr = parse_expr("sum(<i, u> in U) {() -> u}")
+    assert isinstance(expr, Sum)
+    assert expr.body == Var("u")
+
+
+def test_parse_merge():
+    expr = parse_expr(
+        "merge(<p1, p2, l> in <B_idx3(0:3), D_idx(0:4)>) B_val(p1) * D_val(p2)"
+    )
+    assert isinstance(expr, Merge)
+    assert expr.key1_name == "p1" and expr.key2_name == "p2" and expr.val_name == "l"
+    assert isinstance(expr.left, SliceGet) and isinstance(expr.right, SliceGet)
+
+
+def test_parse_wildcard_binding():
+    expr = parse_expr("sum(<row, _> in 0:C_len1) { row -> 1 }")
+    assert isinstance(expr, Sum)
+    assert expr.key_name == "row"
+
+
+def test_parse_csr_mapping_from_paper():
+    source = """
+    sum (<row,_> in 0:C_len1)
+      { @unique row ->
+        sum(<off,col> in C_idx2( C_pos2(row):C_pos2(row+1) ))
+          { @unique col -> C_val(off) }
+      }
+    """
+    expr = parse_expr(source)
+    nameless = to_debruijn(expr)
+    assert nameless is not None
+
+
+def test_parse_mttkrp_kernel_from_paper():
+    source = """
+    sum(<(i,k,l), B_v> in B, <(k,j), C_v> in C, <(j,l), D_v> in D)
+      { (i, j) -> B_v * C_v * D_v }
+    """
+    expr = parse_expr(source)
+    to_debruijn(expr)
+
+
+def test_parse_errors_report_position():
+    with pytest.raises(ParseError):
+        parse_expr("sum(<i, v> in ) { i -> v }")
+    with pytest.raises(ParseError):
+        parse_expr("1 +")
+    with pytest.raises(ParseError):
+        parse_expr("{ i -> }")
+    with pytest.raises(ParseError):
+        parse_expr("sum(<i v> in A) 1")
+
+
+def test_parse_trailing_garbage():
+    with pytest.raises(ParseError):
+        parse_expr("1 + 2 extra")
+
+
+def test_parse_program_ddl():
+    source = """
+    CREATE int SCALAR M, N;
+    CREATE real ARRAY V(M * N);
+    CREATE real HASHMAP H(M, N);
+    CREATE real TRIE T(M)(N);
+    CREATE TENSOR C AS sum (<i,_> in 0:M, <j,_> in 0:N) { (i,j) -> V(i*N+j) };
+    """
+    decls = parse_program(source)
+    kinds = [type(d) for d in decls]
+    assert kinds == [ScalarDecl, ScalarDecl, ArrayDecl, HashMapDecl, TrieDecl, TensorDecl]
+    assert decls[0].name == "M" and decls[0].dtype == "int"
+    assert decls[2].name == "V"
+    assert decls[5].name == "C"
+    to_debruijn(decls[5].mapping)
+
+
+def test_parse_program_dcsr_example():
+    source = """
+    CREATE int ARRAY C_pos1(2);
+    CREATE int ARRAY C_idx1(C_pos1(1));
+    CREATE int ARRAY C_pos2(C_pos1(1)+1);
+    CREATE int ARRAY C_idx2(C_pos2(C_pos1(1)));
+    CREATE real ARRAY C_val(C_pos2(C_pos1(1)));
+    CREATE TENSOR C AS
+      sum (<i_pos, i> in C_idx1)
+        let j_start = C_pos2(i_pos),
+            j_end = C_pos2(i_pos+1)
+        in sum ( <j_pos, j> in C_idx2( j_start:j_end ))
+          { (i,j) -> C_val(j_pos)}
+    """
+    decls = parse_program(source)
+    assert len(decls) == 6
+    assert isinstance(decls[-1], TensorDecl)
+
+
+def test_pretty_roundtrip_through_parser():
+    sources = [
+        "sum(<i, v> in V) if (v > 0) then { i -> 5 * v }",
+        "sum(<(i,j), a> in A, <(j,k), b> in B) {(i,k) -> a * b}",
+        "let t = A(i) in t * t",
+        "{ @unique row -> sum(<off, col> in C_idx2(0:5)) { @unique col -> C_val(off) } }",
+        "if (a >= 0 && a < 10) then a",
+    ]
+    for source in sources:
+        first = parse_expr(source)
+        second = parse_expr(pretty(first))
+        assert to_debruijn(first) == to_debruijn(second), source
+
+
+def test_pretty_of_debruijn_generates_names():
+    expr = to_debruijn(parse_expr("sum(<i, v> in A) { i -> v }"))
+    text = pretty(expr)
+    assert "%" not in text
+    reparsed = to_debruijn(parse_expr(text))
+    assert reparsed == expr
