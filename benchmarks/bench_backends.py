@@ -1,0 +1,109 @@
+"""Execution-backend shootout: interpret vs compile vs vectorize.
+
+Runs every Fig. 7 kernel through the STOREL pipeline three times — once per
+execution backend — on one representative dataset each, checks all backends
+against the NumPy oracle, prints the runtime table and the
+vectorize-over-compile speedups, and records the raw rows in
+``BENCH_backends.json`` at the repository root.
+
+Run either as a pytest module (``pytest benchmarks/bench_backends.py -s``)
+or directly (``python benchmarks/bench_backends.py``).  Scale factors and
+the backend list come from :mod:`_config` (``REPRO_MATRIX_SCALE``,
+``REPRO_TENSOR_SCALE``, ``REPRO_BACKENDS``).
+"""
+
+import json
+import os
+import platform
+
+from _config import BACKENDS, MATRIX_SCALE, REPEATS, TENSOR_SCALE, print_report
+from repro.kernels import KERNELS
+from repro.workloads.harness import backend_shootout
+from repro.workloads.experiments import matrix_kernel_catalog, tensor_kernel_catalog
+from repro.workloads.reporting import format_table, pivot_measurements
+
+MATRIX_KERNELS = ("MMM", "SUMMM", "BATAX")
+TENSOR_KERNELS = ("TTM", "MTTKRP")
+
+#: One representative dataset per kernel family (same as the paper's spotlights).
+MATRIX_DATASET = "pdb1HYS"
+TENSOR_DATASET = "Facebook"
+
+_JSON_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_backends.json")
+
+
+def _shootout(kernel_name: str, repeats: int):
+    if kernel_name in MATRIX_KERNELS:
+        dataset = MATRIX_DATASET
+        catalog = matrix_kernel_catalog(kernel_name, dataset, scale=MATRIX_SCALE)
+    else:
+        dataset = TENSOR_DATASET
+        catalog = tensor_kernel_catalog(kernel_name, dataset, scale=TENSOR_SCALE)
+    return backend_shootout(KERNELS[kernel_name], catalog, backends=BACKENDS,
+                            dataset=dataset, repeats=repeats)
+
+
+def run_shootout(repeats: int = REPEATS) -> dict:
+    """Run all kernels × backends; return the report dict written to JSON."""
+    measurements = []
+    for kernel_name in MATRIX_KERNELS + TENSOR_KERNELS:
+        measurements.extend(_shootout(kernel_name, repeats))
+    table = format_table(
+        pivot_measurements(measurements, row_key="kernel", column_key="system"),
+        title="Execution backends — run time (ms) per kernel "
+              f"(matrix scale {MATRIX_SCALE}, tensor scale {TENSOR_SCALE})")
+    report = {
+        "benchmark": "backends",
+        "matrix_scale": MATRIX_SCALE,
+        "tensor_scale": TENSOR_SCALE,
+        "repeats": repeats,
+        "backends": list(BACKENDS),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": [m.as_row() for m in measurements],
+        "vectorize_speedup_over_compile": {},
+    }
+    by_kernel: dict[str, dict[str, float]] = {}
+    for measurement in measurements:
+        if measurement.mean_ms is not None:
+            by_kernel.setdefault(measurement.kernel, {})[measurement.system] = measurement.mean_ms
+    speedup_rows = []
+    for kernel, systems in by_kernel.items():
+        compiled = systems.get("STOREL[compile]")
+        vectorized = systems.get("STOREL[vectorize]")
+        if compiled and vectorized:
+            speedup = compiled / vectorized
+            report["vectorize_speedup_over_compile"][kernel] = round(speedup, 3)
+            speedup_rows.append({"kernel": kernel, "compile_ms": compiled,
+                                 "vectorize_ms": vectorized, "speedup": speedup})
+    if speedup_rows:
+        table += "\n" + format_table(
+            speedup_rows, title="vectorize speedup over the compile backend")
+    print_report(table)
+    return report
+
+
+def test_backend_shootout(benchmark):
+    """All kernels × backends, correctness-checked; writes BENCH_backends.json."""
+    report = benchmark.pedantic(run_shootout, rounds=1, iterations=1)
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+    ok = [row for row in report["rows"] if row["status"] == "ok"]
+    assert ok, "no backend produced a measurement"
+    assert all(row["correct"] for row in ok), "a backend returned an incorrect result"
+    # Every backend must have executed every kernel it was asked to run.
+    assert len(ok) == len(report["rows"]), \
+        f"backend failures: {[r for r in report['rows'] if r['status'] != 'ok']}"
+
+
+def main() -> None:
+    report = run_shootout(repeats=max(3, REPEATS))
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {_JSON_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

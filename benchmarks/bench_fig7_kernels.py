@@ -12,7 +12,7 @@ substantially faster on the kernels with factorization opportunities
 
 import pytest
 
-from _config import MATRIX_SCALE, REPEATS, TENSOR_SCALE, print_report
+from _config import BACKENDS, MATRIX_SCALE, REPEATS, TENSOR_SCALE, print_report
 from repro.baselines import NotSupportedError
 from repro.kernels import KERNELS
 from repro.workloads.experiments import (
@@ -21,6 +21,7 @@ from repro.workloads.experiments import (
     matrix_kernel_catalog,
     tensor_kernel_catalog,
 )
+from repro.workloads.harness import backend_shootout
 from repro.workloads.reporting import format_table, pivot_measurements, speedup_summary
 
 MATRIX_KERNELS = ("MMM", "SUMMM", "BATAX")
@@ -62,6 +63,30 @@ def test_fig7_matrix_kernel_per_system(benchmark, kernel_name, system_index):
         pytest.skip(str(exc))
     benchmark.group = f"fig7-{kernel_name}-pdb1HYS ({system.name})"
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("kernel_name", MATRIX_KERNELS + TENSOR_KERNELS)
+def test_fig7_backend_comparison(benchmark, kernel_name):
+    """STOREL's three execution backends on one representative dataset per kernel."""
+    if kernel_name in MATRIX_KERNELS:
+        catalog = matrix_kernel_catalog(kernel_name, "pdb1HYS", scale=MATRIX_SCALE)
+        dataset = "pdb1HYS"
+    else:
+        catalog = tensor_kernel_catalog(kernel_name, "Facebook", scale=TENSOR_SCALE)
+        dataset = "Facebook"
+
+    def run():
+        return backend_shootout(KERNELS[kernel_name], catalog, backends=BACKENDS,
+                                dataset=dataset, repeats=REPEATS)
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        pivot_measurements(measurements),
+        title=f"Fig. 7 backends — {kernel_name}/{dataset}: run time (ms) per backend")
+    print_report(table)
+    ok = [m for m in measurements if m.status == "ok"]
+    assert len(ok) == len(measurements), "a backend failed to run"
+    assert all(m.correct for m in ok), "a backend returned an incorrect result"
 
 
 @pytest.mark.parametrize("kernel_name", TENSOR_KERNELS)

@@ -12,7 +12,7 @@ plain MMM the BLAS-backed baselines win at high density.
 
 import pytest
 
-from _config import REPEATS, print_report
+from _config import BACKENDS, REPEATS, print_report
 from repro.baselines import NotSupportedError, NumpySystem, ScipySystem, StorelSystem, TacoLikeSystem
 from repro.data.synthetic import density_sweep
 from repro.kernels import KERNELS
@@ -46,6 +46,16 @@ def test_fig8_batax_storel_per_density(benchmark, density, storage):
                                 storage=storage)
     run = StorelSystem().prepare(KERNELS["BATAX"], catalog)
     benchmark.group = f"fig8-BATAX-{storage}"
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig8_batax_per_backend(benchmark, backend):
+    """STOREL's execution backends on BATAX at the densest sweep point."""
+    catalog = synthetic_catalog("BATAX", DENSITIES[-1], rows=MATRIX_ROWS,
+                                cols=MATRIX_ROWS, storage="sparse")
+    run = StorelSystem(backend=backend).prepare(KERNELS["BATAX"], catalog)
+    benchmark.group = "fig8-BATAX-backends"
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 

@@ -11,11 +11,17 @@ It provides:
 * :mod:`repro.egraph` — an equality-saturation engine (Egg reimplementation),
 * :mod:`repro.core` — the rewrite rules, cardinality/cost models and the
   two-stage cost-based optimizer (STOREL itself),
-* :mod:`repro.execution` — physical plan interpretation and Python code
-  generation,
+* :mod:`repro.execution` — the three physical-plan execution backends
+  (``interpret`` / ``compile`` / ``vectorize``) plus the prepared-plan LRU
+  cache; every API that executes plans takes a ``backend=`` parameter
+  accepting exactly those three values (see ``docs/backends.md``),
 * :mod:`repro.kernels`, :mod:`repro.baselines`, :mod:`repro.data`,
   :mod:`repro.workloads` — the evaluation substrate (tensor programs,
   competitor systems, datasets, experiment harness).
+
+The one-call entry point is :mod:`repro.storel`
+(``storel.run(program, catalog, backend=...)``); see ``README.md`` for a
+quickstart.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

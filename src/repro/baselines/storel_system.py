@@ -33,12 +33,19 @@ class StorelSystem(System):
         faster, and the paper excludes optimization time from Fig. 7–9
         anyway).
     backend:
-        ``"compile"`` (generated Python) or ``"interpret"``.
+        Execution backend: ``"compile"`` (generated Python loops, default),
+        ``"interpret"`` (reference interpreter) or ``"vectorize"``
+        (whole-array NumPy with automatic loop fallback); see
+        ``docs/backends.md``.
     """
 
     method: str = "greedy"
     backend: str = "compile"
     name: str = "STOREL"
+
+    def __post_init__(self):
+        if self.name == "STOREL" and self.backend != "compile":
+            self.name = f"STOREL[{self.backend}]"
 
     def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
         stats = Statistics.from_catalog(catalog)
@@ -63,6 +70,7 @@ class FixedPlanSystem(System):
     ``variant`` is one of the candidate-plan names produced by
     :func:`repro.core.strategies.candidate_plans`: ``naive``, ``fused``,
     ``factorized``, ``fused+factorized`` (or ``fused+factorized+merge``).
+    ``backend`` is ``"compile"``, ``"interpret"`` or ``"vectorize"``.
     """
 
     variant: str = "fused+factorized"

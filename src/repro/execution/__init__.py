@@ -1,19 +1,39 @@
-"""Physical plan execution: interpretation and Python code generation."""
+"""Physical plan execution: interpretation, code generation, vectorization.
+
+Three backends (selected with ``backend=`` on :class:`ExecutionEngine`,
+:func:`repro.storel.run` and the benchmark systems; see ``docs/backends.md``):
+
+* ``"interpret"`` — the reference interpreter (the semantics oracle),
+* ``"compile"``   — generated Python loops (default),
+* ``"vectorize"`` — whole-array NumPy with automatic per-sum loop fallback.
+
+Prepared plans are cached across calls by :class:`PlanCache`
+(:data:`GLOBAL_PLAN_CACHE` by default), keyed on backend, plan hash and
+environment schema.
+"""
 
 from .codegen import CompiledPlan, compile_plan
 from .engine import (
+    BACKENDS,
+    GLOBAL_PLAN_CACHE,
     ExecutionEngine,
+    PlanCache,
     PreparedPlan,
+    env_signature,
     result_to_dense,
     result_to_matrix,
     result_to_scalar,
     result_to_tensor3,
     result_to_vector,
 )
+from .vectorize import Unvectorizable, VectorizedPlan, vectorize_plan
 
 __all__ = [
+    "BACKENDS",
     "CompiledPlan", "compile_plan",
+    "VectorizedPlan", "vectorize_plan", "Unvectorizable",
     "ExecutionEngine", "PreparedPlan",
+    "PlanCache", "GLOBAL_PLAN_CACHE", "env_signature",
     "result_to_dense", "result_to_matrix", "result_to_scalar",
     "result_to_tensor3", "result_to_vector",
 ]

@@ -1,20 +1,37 @@
 """Execution of physical plans over the registered storage.
 
-Two backends are provided:
+Three backends are provided (see ``docs/backends.md`` for a full guide):
 
-* ``interpret`` — the reference interpreter (:mod:`repro.sdqlite.interpreter`),
+* ``interpret`` — the reference interpreter (:mod:`repro.sdqlite.interpreter`);
+  the executable semantics of SDQLite and the oracle everything else is
+  checked against.
 * ``compile``   — Python code generation (:mod:`repro.execution.codegen`),
-  the reproduction's stand-in for the paper's Julia backend.
+  the reproduction's stand-in for the paper's Julia backend: nested scalar
+  ``for`` loops, the default for benchmarks.
+* ``vectorize`` — whole-array NumPy execution
+  (:mod:`repro.execution.vectorize`): ``sum`` loops over ranges, physical
+  arrays and segmented-array slices are evaluated as batched array
+  expressions with scatter/gather, falling back to Python loops per ``sum``
+  for constructs that don't vectorize (merge, tries, nested hash-maps).
 
-Both produce the same values (tested); the compiled backend is the default
-for benchmarks.  Results are returned as plain scalars / nested dicts and can
-be converted to NumPy arrays for comparison against the oracle baselines.
+All backends produce identical values (tested per kernel × format); results
+are plain scalars / nested dicts convertible to NumPy arrays via the
+``result_to_*`` helpers below.
+
+Plan lowering is cached: :class:`ExecutionEngine.prepare` consults a
+:class:`PlanCache` (an LRU keyed on backend, plan hash and environment
+schema) so that repeated preparation of the same plan — e.g. across
+benchmark iterations or repeated :func:`repro.storel.run` calls — skips
+re-compilation.  Lowered artifacts are environment-independent, so a cache
+hit is always safe: the environment is only bound at
+:meth:`PreparedPlan.run` time.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Hashable, Mapping
 
 import numpy as np
 
@@ -24,52 +41,183 @@ from ..sdqlite.errors import ExecutionError
 from ..sdqlite.interpreter import evaluate
 from ..sdqlite.values import is_scalar, to_plain
 from .codegen import CompiledPlan, compile_plan
+from .vectorize import VectorizedPlan, vectorize_plan
+
+#: Accepted values of the ``backend`` parameter, everywhere one is taken.
+BACKENDS = ("interpret", "compile", "vectorize")
+
+
+def env_signature(env: Mapping[str, Any]) -> tuple:
+    """A hashable schema of an environment: sorted (symbol, type-name) pairs.
+
+    Two environments with the same signature bind the same symbols to values
+    of the same physical kinds, so an artifact lowered for one can be reused
+    for the other (lowering never inspects the data itself).
+    """
+    return tuple(sorted((name, type(value).__name__) for name, value in env.items()))
+
+
+class PlanCache:
+    """A small LRU cache of lowered plan artifacts.
+
+    Keys are ``(backend, plan, env_signature)`` — plans are frozen
+    dataclasses and hash structurally.  Values are the backend artifacts
+    (:class:`~repro.execution.codegen.CompiledPlan` or
+    :class:`~repro.execution.vectorize.VectorizedPlan`); both are pure
+    functions of the plan, so sharing them across environments with the
+    same schema is sound.  The environment schema is part of the key by
+    design even though today's lowerings ignore the environment: it keeps
+    the cache correct if a future backend specializes its artifact to the
+    physical kinds of the symbols, at the cost of one extra lowering per
+    distinct schema.  ``hits`` / ``misses`` counters are exposed for tests
+    and benchmark reporting.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("PlanCache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """Return the cached artifact or ``None``; counts a hit or a miss."""
+        try:
+            artifact = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return artifact
+
+    def put(self, key: Hashable, artifact: Any) -> None:
+        """Insert an artifact, evicting the least recently used beyond maxsize."""
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default cache used when an engine is not given its own.
+GLOBAL_PLAN_CACHE = PlanCache(maxsize=256)
 
 
 @dataclass
 class ExecutionEngine:
-    """Executes physical plans against an environment of physical symbols."""
+    """Executes physical plans against an environment of physical symbols.
+
+    Parameters
+    ----------
+    env:
+        Mapping from physical symbol names to runtime values (NumPy arrays,
+        hash-maps, tries, scalars) — usually ``catalog.globals()``.
+    backend:
+        One of :data:`BACKENDS`: ``"interpret"`` (reference interpreter),
+        ``"compile"`` (generated Python loops, the default) or
+        ``"vectorize"`` (whole-array NumPy with automatic loop fallback).
+    cache:
+        The :class:`PlanCache` to consult when preparing plans; ``None``
+        (the default) uses the process-wide :data:`GLOBAL_PLAN_CACHE`.
+        Pass a dedicated instance to isolate or inspect caching behaviour.
+    """
 
     env: Mapping[str, Any]
     backend: str = "compile"
+    cache: PlanCache | None = None
 
     @classmethod
-    def for_catalog(cls, catalog, backend: str = "compile") -> "ExecutionEngine":
-        return cls(env=catalog.globals(), backend=backend)
+    def for_catalog(cls, catalog, backend: str = "compile",
+                    cache: "PlanCache | None" = None) -> "ExecutionEngine":
+        """Build an engine over ``catalog.globals()`` with the given backend."""
+        return cls(env=catalog.globals(), backend=backend, cache=cache)
+
+    def _plan_cache(self) -> PlanCache:
+        return self.cache if self.cache is not None else GLOBAL_PLAN_CACHE
 
     def prepare(self, plan: Expr) -> "PreparedPlan":
-        """Compile (or wrap) a plan for repeated execution."""
+        """Lower (or wrap) a plan for repeated execution.
+
+        The plan is converted to De Bruijn form, then looked up in the plan
+        cache under ``(backend, plan, env schema)``; on a miss the backend
+        artifact is built and cached.  ``interpret`` has no lowering step
+        and bypasses the cache.
+        """
         plan = to_debruijn_safe(plan)
-        if self.backend == "compile":
-            return PreparedPlan(plan, self.env, compiled=compile_plan(plan))
         if self.backend == "interpret":
-            return PreparedPlan(plan, self.env, compiled=None)
-        raise ExecutionError(f"unknown execution backend {self.backend!r}")
+            return PreparedPlan(plan, self.env)
+        if self.backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown execution backend {self.backend!r}; expected one of {BACKENDS}")
+        cache = self._plan_cache()
+        key = (self.backend, plan, env_signature(self.env))
+        artifact = cache.get(key)
+        if artifact is None:
+            if self.backend == "compile":
+                artifact = compile_plan(plan)
+            else:
+                artifact = vectorize_plan(plan)
+            cache.put(key, artifact)
+        if self.backend == "compile":
+            return PreparedPlan(plan, self.env, compiled=artifact)
+        return PreparedPlan(plan, self.env, vectorized=artifact)
 
     def run(self, plan: Expr) -> Any:
-        """Prepare and execute a plan once."""
+        """Prepare and execute a plan once (cache-aware; see :meth:`prepare`)."""
         return self.prepare(plan).run()
 
 
 @dataclass
 class PreparedPlan:
-    """A plan bound to an environment, ready to execute."""
+    """A plan bound to an environment, ready to execute repeatedly.
+
+    Exactly one of ``compiled`` / ``vectorized`` is set for the ``compile``
+    and ``vectorize`` backends; both are ``None`` for ``interpret``.
+    """
 
     plan: Expr
     env: Mapping[str, Any]
     compiled: CompiledPlan | None = None
+    vectorized: VectorizedPlan | None = None
+
+    @property
+    def backend(self) -> str:
+        """The backend this plan was prepared for."""
+        if self.compiled is not None:
+            return "compile"
+        if self.vectorized is not None:
+            return "vectorize"
+        return "interpret"
 
     def run(self) -> Any:
+        """Execute the plan against the bound environment."""
         if self.compiled is not None:
             return self.compiled(self.env)
+        if self.vectorized is not None:
+            return self.vectorized(self.env)
         return evaluate(self.plan, self.env)
 
     @property
     def source(self) -> str:
-        """Generated Python source (compiled backend only)."""
-        if self.compiled is None:
-            return "<interpreted>"
-        return self.compiled.source
+        """Generated Python source (``compile``) or a backend marker."""
+        if self.compiled is not None:
+            return self.compiled.source
+        if self.vectorized is not None:
+            return self.vectorized.source
+        return "<interpreted>"
 
 
 # ---------------------------------------------------------------------------

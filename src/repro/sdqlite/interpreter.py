@@ -56,6 +56,9 @@ from .values import (
     is_zero,
     iter_items,
     lookup,
+    merge_hashable,
+    normalize_key,
+    truthy,
     v_add,
     v_mul,
     v_sub,
@@ -143,11 +146,11 @@ def _eval(expr: Expr, env: Environment) -> Any:
         value = _eval(expr.operand, env)
         return v_mul(-1, value) if not is_scalar(value) else -value
     if isinstance(expr, Not):
-        return not _truthy(_eval(expr.operand, env))
+        return not truthy(_eval(expr.operand, env))
     if isinstance(expr, And):
-        return _truthy(_eval(expr.left, env)) and _truthy(_eval(expr.right, env))
+        return truthy(_eval(expr.left, env)) and truthy(_eval(expr.right, env))
     if isinstance(expr, Or):
-        return _truthy(_eval(expr.left, env)) or _truthy(_eval(expr.right, env))
+        return truthy(_eval(expr.left, env)) or truthy(_eval(expr.right, env))
     if isinstance(expr, Cmp):
         return _compare(expr.op, _eval(expr.left, env), _eval(expr.right, env))
     if isinstance(expr, DictExpr):
@@ -171,7 +174,7 @@ def _eval(expr: Expr, env: Environment) -> Any:
         return SliceDict(target, lo, hi)
     if isinstance(expr, IfThen):
         condition = _eval(expr.cond, env)
-        if _truthy(condition):
+        if truthy(condition):
             return _eval(expr.then, env)
         return 0
     if isinstance(expr, Let):
@@ -210,10 +213,10 @@ def _eval_merge(expr: Merge, env: Environment) -> Any:
     # the semantics sum(<k1,v1> in e1, <k2,v2> in e2) if (v1 == v2) then body.
     by_value: dict[Any, list[Any]] = {}
     for key, value in iter_items(right):
-        by_value.setdefault(_hashable(value), []).append(key)
+        by_value.setdefault(merge_hashable(value), []).append(key)
     accumulator: Any = 0
     for key1, value in iter_items(left):
-        matches = by_value.get(_hashable(value))
+        matches = by_value.get(merge_hashable(value))
         if not matches:
             continue
         for key2 in matches:
@@ -229,20 +232,9 @@ def _eval_merge(expr: Merge, env: Environment) -> Any:
 
 
 def _eval_key(expr: Expr, env: Environment) -> Any:
-    value = _eval(expr, env)
-    if isinstance(value, bool):
-        return int(value)
-    if is_scalar(value):
-        if isinstance(value, float) and value.is_integer():
-            return int(value)
-        return int(value) if not isinstance(value, float) else value
-    raise EvaluationError("dictionary keys must evaluate to scalars")
+    return normalize_key(_eval(expr, env))
 
 
-def _truthy(value: Any) -> bool:
-    if is_scalar(value):
-        return bool(value)
-    return not is_zero(value)
 
 
 def _compare(op: str, left: Any, right: Any) -> bool:
@@ -263,8 +255,3 @@ def _compare(op: str, left: Any, right: Any) -> bool:
     raise EvaluationError(f"unknown comparison operator {op!r}")
 
 
-def _hashable(value: Any) -> Any:
-    if is_scalar(value):
-        # Normalise numeric types so 2 == 2.0 groups together.
-        return float(value)
-    return id(value)

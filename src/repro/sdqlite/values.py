@@ -311,6 +311,41 @@ def _plain_key(key):
     return key
 
 
+def normalize_key(value):
+    """Normalise a dictionary key: booleans and integral floats become ints.
+
+    The single definition of SDQLite's key coercion rule, shared by the
+    interpreter and the vectorized backend so they cannot diverge.
+    Non-integral floats stay float keys; non-scalars are rejected.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        as_float = float(value)
+        return int(as_float) if as_float.is_integer() else as_float
+    if is_scalar(value):
+        return int(value)
+    raise EvaluationError("dictionary keys must evaluate to scalars")
+
+
+def truthy(value) -> bool:
+    """SDQLite truthiness: scalar truth, or non-emptiness for dictionaries."""
+    if is_scalar(value):
+        return bool(value)
+    return not is_zero(value)
+
+
+def merge_hashable(value):
+    """The grouping key ``merge`` pairs iteration values by.
+
+    Scalars group numerically (``2 == 2.0``); dictionary values group by
+    identity, matching the reference interpreter.
+    """
+    if is_scalar(value):
+        return float(value)
+    return id(value)
+
+
 def values_equal(left, right, *, rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> bool:
     """Structural equality of two values with floating point tolerance."""
     left_plain = to_plain(left) if not is_scalar(left) else left

@@ -16,9 +16,12 @@ the README::
         catalog)
 
 Under the hood this parses the program, derives statistics from the catalog,
-runs the cost-based optimizer, compiles the chosen plan to Python, executes
-it and returns the result (a scalar or a nested dict, or a dense NumPy array
-when ``dense_shape`` is given).
+runs the cost-based optimizer, lowers the chosen plan on the selected
+execution backend (``backend="compile"`` by default; ``"interpret"`` and
+``"vectorize"`` are the alternatives — see ``docs/backends.md``), executes it
+and returns the result (a scalar or a nested dict, or a dense NumPy array
+when ``dense_shape`` is given).  Lowered plans are cached process-wide, so
+repeated calls with the same plan shape skip re-compilation.
 """
 
 from __future__ import annotations
@@ -52,7 +55,29 @@ def _as_program(program: "str | Expr") -> Expr:
 def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
                  backend: str = "compile", dense_shape: tuple[int, ...] | None = None,
                  optimizer_options: Mapping[str, Any] | None = None) -> RunOutcome:
-    """Optimize and execute ``program`` over ``catalog``; return value and plan details."""
+    """Optimize and execute ``program`` over ``catalog``; return value and plan details.
+
+    Parameters
+    ----------
+    program:
+        SDQLite source text or a parsed expression over logical tensor names.
+    catalog:
+        The registered tensors (storage formats + statistics) and scalars.
+    method:
+        Optimization method: ``"greedy"`` (cheapest strategy-generated
+        candidate, fast) or ``"egraph"`` (full two-stage equality
+        saturation).
+    backend:
+        Execution backend: ``"compile"`` (generated Python loops, default),
+        ``"interpret"`` (reference interpreter) or ``"vectorize"``
+        (whole-array NumPy with automatic loop fallback).
+    dense_shape:
+        When given, the result is densified into a NumPy array (or scalar)
+        of this shape.
+    optimizer_options:
+        Extra keyword arguments forwarded to
+        :class:`~repro.core.optimizer.Optimizer` (e.g. ``iter_limit``).
+    """
     expr = _as_program(program)
     stats = Statistics.from_catalog(catalog)
     optimizer = Optimizer(stats, **dict(optimizer_options or {}))
@@ -67,7 +92,12 @@ def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "gree
 
 def run(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
         backend: str = "compile", dense_shape: tuple[int, ...] | None = None) -> Any:
-    """Optimize and execute ``program`` over ``catalog``; return just the value."""
+    """Optimize and execute ``program`` over ``catalog``; return just the value.
+
+    ``backend`` selects the execution backend — ``"compile"`` (default),
+    ``"interpret"`` or ``"vectorize"``; see :func:`run_detailed` for all
+    parameters.
+    """
     return run_detailed(program, catalog, method=method, backend=backend,
                         dense_shape=dense_shape).result
 

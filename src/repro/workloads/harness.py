@@ -5,6 +5,11 @@ construction and plan preparation are excluded from the measured time; each
 measurement is repeated a configurable number of times and the average is
 reported.  Systems that cannot run a configuration (out of memory, missing
 sparse rank-3 support) are recorded as such rather than failing the run.
+
+STOREL itself can be measured on any of its three execution backends
+(``interpret`` / ``compile`` / ``vectorize``); :func:`backend_shootout`
+runs one kernel/catalog across several backends so their relative speed can
+be reported side by side (``benchmarks/bench_backends.py`` uses it).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..baselines.base import NotSupportedError, System, reference_result
+from ..execution.engine import BACKENDS
 from ..kernels.programs import Kernel
 from ..storage.catalog import Catalog
 from ..storage.formats import build_format
@@ -91,6 +97,29 @@ def run_matrix(systems: Sequence[System], kernel: Kernel, catalogs: dict[str, Ca
         for system in systems:
             measurements.append(
                 measure(system, kernel, catalog, dataset=dataset, repeats=repeats, check=check))
+    return measurements
+
+
+def backend_shootout(kernel: Kernel, catalog: Catalog, *,
+                     backends: Sequence[str] = BACKENDS, dataset: str = "",
+                     method: str = "greedy", repeats: int = 3,
+                     check: bool = True) -> list[Measurement]:
+    """Measure STOREL on one kernel/catalog across several execution backends.
+
+    ``backends`` is a sequence of backend names, each one of ``"interpret"``,
+    ``"compile"`` or ``"vectorize"`` (the full set by default); each backend
+    yields one :class:`Measurement` whose system name is
+    ``STOREL[<backend>]``.  Plan optimization is shared work but re-done per
+    backend; as everywhere in the harness, only execution is timed.
+    """
+    from ..baselines.storel_system import StorelSystem
+
+    measurements = []
+    for backend in backends:
+        system = StorelSystem(method=method, backend=backend,
+                              name=f"STOREL[{backend}]")
+        measurements.append(
+            measure(system, kernel, catalog, dataset=dataset, repeats=repeats, check=check))
     return measurements
 
 

@@ -1,4 +1,4 @@
-"""Tests for the execution engine: code generation agrees with the interpreter."""
+"""Tests for the execution engine: all backends agree with the interpreter."""
 
 import numpy as np
 import pytest
@@ -6,18 +6,30 @@ import pytest
 from repro.core import compose, strategies
 from repro.data.synthetic import random_dense_vector, random_sparse_matrix, random_sparse_tensor3
 from repro.execution import (
+    BACKENDS,
     ExecutionEngine,
+    PlanCache,
     compile_plan,
+    env_signature,
     result_to_dense,
     result_to_matrix,
     result_to_scalar,
     result_to_vector,
+    vectorize_plan,
 )
 from repro.kernels import KERNELS
 from repro.sdqlite import evaluate, parse_expr, to_debruijn, values_equal
 from repro.sdqlite.errors import ExecutionError
 from repro.sdqlite.values import to_plain
-from repro.storage import Catalog, CSFFormat, CSRFormat, DenseFormat, DOKFormat
+from repro.storage import (
+    FORMATS,
+    Catalog,
+    CSFFormat,
+    CSRFormat,
+    DenseFormat,
+    DOKFormat,
+    build_format,
+)
 
 
 def db(source):
@@ -110,6 +122,171 @@ def test_execution_engine_backends_agree():
     assert interpreted_engine.prepare(plan).source == "<interpreted>"
     with pytest.raises(ExecutionError):
         ExecutionEngine(env={}, backend="julia").prepare(plan)
+
+
+# ---------------------------------------------------------------------------
+# vectorize backend: kernel × format parity with the interpreter
+# ---------------------------------------------------------------------------
+
+MATRIX_FORMATS = ("dense", "coo", "csr", "csc", "dcsr", "dok", "trie")
+TENSOR3_FORMATS = ("coo", "csf", "dok", "trie")
+
+_PARITY_CASES = [
+    (kernel, fmt)
+    for kernel in ("MMM", "SUMMM", "BATAX", "BATAX-nested")
+    for fmt in MATRIX_FORMATS
+] + [
+    (kernel, fmt)
+    for kernel in ("TTM", "MTTKRP")
+    for fmt in TENSOR3_FORMATS
+]
+
+
+def _parity_catalog(kernel_name: str, fmt: str, size: int = 8) -> Catalog:
+    catalog = Catalog()
+    a = random_sparse_matrix(size, size, 0.3, seed=21)
+    if kernel_name in ("MMM", "SUMMM"):
+        catalog.add(build_format(fmt, "A", a))
+        catalog.add(build_format(fmt, "B", random_sparse_matrix(size, size, 0.3, seed=22)))
+    elif kernel_name.startswith("BATAX"):
+        catalog.add(build_format(fmt, "A", a))
+        catalog.add(DenseFormat.from_dense("X", random_dense_vector(size, seed=23)))
+        catalog.add_scalar("beta", 2.0)
+    else:
+        coords, values = random_sparse_tensor3(size, 5, 6, 0.15, seed=24)
+        catalog.add(FORMATS[fmt].from_coo("A", coords, values, (size, 5, 6)))
+        other_rows = 5 if kernel_name == "MTTKRP" else 4
+        other_cols = 6 if kernel_name == "TTM" else 4
+        catalog.add(CSRFormat.from_dense(
+            "B", random_sparse_matrix(other_rows, other_cols, 0.5, seed=25)))
+        if kernel_name == "MTTKRP":
+            catalog.add(build_format("csc", "C", random_sparse_matrix(6, 4, 0.5, seed=26)))
+    return catalog
+
+
+@pytest.mark.parametrize("kernel_name,fmt", _PARITY_CASES,
+                         ids=[f"{k}-{f}" for k, f in _PARITY_CASES])
+def test_vectorize_matches_interpreter(kernel_name, fmt):
+    """The vectorize backend equals the interpreter on every kernel × format."""
+    kernel = KERNELS[kernel_name]
+    catalog = _parity_catalog(kernel_name, fmt)
+    naive = compose(kernel.program, catalog.mappings())
+    env = catalog.globals()
+    for plan in strategies.candidate_plans(naive).values():
+        vectorized = vectorize_plan(plan)
+        assert values_equal(vectorized(env), evaluate(plan, env))
+
+
+def test_vectorize_engine_agrees_with_other_backends():
+    catalog = Catalog()
+    catalog.add(CSRFormat.from_dense("A", random_sparse_matrix(9, 9, 0.4, seed=51)))
+    plan = db("sum(<row, _> in 0:A_len1) "
+              "sum(<off, col> in A_idx2(A_pos2(row):A_pos2(row+1))) "
+              "{ col -> A_val(off) }")
+    results = {backend: ExecutionEngine.for_catalog(catalog, backend=backend,
+                                                    cache=PlanCache()).run(plan)
+               for backend in BACKENDS}
+    assert values_equal(results["vectorize"], results["interpret"])
+    assert values_equal(results["vectorize"], results["compile"])
+
+
+def test_vectorize_probe_shortcut_semantics():
+    """Equality-probe loops: in range, out of range, and non-integer probes."""
+    env = {"V": np.array([5.0, 6.0, 7.0]), "N": 3}
+    for j, expected in [(1, 6.0), (7, 0), (-2, 0)]:
+        plan = db(f"sum(<i, v> in V) if (i == {j}) then v")
+        assert vectorize_plan(plan)(env) == evaluate(plan, env) == expected
+    plan = db("sum(<i, _> in 0:N) if (i == 1.5) then 9")
+    assert vectorize_plan(plan)(env) == evaluate(plan, env) == 0
+    # Probe expression referencing an outer binder.
+    plan = db("sum(<j, _> in 0:N) { j -> sum(<i, v> in V) if (i == j) then 2 * v }")
+    assert values_equal(vectorize_plan(plan)(env), evaluate(plan, env))
+
+
+def test_vectorize_source_marker_and_named_form_rejection():
+    plan = db("sum(<i, v> in V) { i -> v }")
+    vectorized = vectorize_plan(plan)
+    assert "vectorized" in vectorized.source
+    with pytest.raises(ExecutionError):
+        vectorize_plan(parse_expr("sum(<i, v> in V) { i -> v }"))  # named form
+
+
+# ---------------------------------------------------------------------------
+# PreparedPlan caching
+# ---------------------------------------------------------------------------
+
+
+def test_plan_cache_hits_on_repeated_prepare():
+    cache = PlanCache(maxsize=8)
+    env = {"V": np.array([1.0, 2.0, 3.0])}
+    engine = ExecutionEngine(env=env, backend="compile", cache=cache)
+    plan = db("sum(<i, v> in V) v")
+    first = engine.prepare(plan)
+    assert (cache.hits, cache.misses) == (0, 1)
+    second = engine.prepare(plan)
+    assert (cache.hits, cache.misses) == (1, 1)
+    # The lowered artifact is shared; the bound environment is per-prepare.
+    assert second.compiled is first.compiled
+    assert first.run() == second.run() == pytest.approx(6.0)
+
+
+def test_plan_cache_invalidates_on_env_schema_and_backend():
+    cache = PlanCache(maxsize=8)
+    plan = db("sum(<i, v> in V) v")
+    array_env = {"V": np.array([1.0, 2.0])}
+    dict_env = {"V": {0: 1.0, 5: 4.0}}
+    ExecutionEngine(env=array_env, backend="compile", cache=cache).prepare(plan)
+    ExecutionEngine(env=dict_env, backend="compile", cache=cache).prepare(plan)
+    assert cache.misses == 2 and cache.hits == 0  # different env schema
+    ExecutionEngine(env=array_env, backend="vectorize", cache=cache).prepare(plan)
+    assert cache.misses == 3  # different backend
+    other_plan = db("sum(<i, v> in V) 2 * v")
+    ExecutionEngine(env=array_env, backend="compile", cache=cache).prepare(other_plan)
+    assert cache.misses == 4  # different plan hash
+    ExecutionEngine(env=array_env, backend="compile", cache=cache).prepare(plan)
+    assert cache.hits == 1
+
+
+def test_plan_cache_lru_eviction_and_clear():
+    cache = PlanCache(maxsize=2)
+    env = {"V": np.array([1.0])}
+    engine = ExecutionEngine(env=env, backend="compile", cache=cache)
+    plans = [db(f"sum(<i, v> in V) {k} * v") for k in (1, 2, 3)]
+    engine.prepare(plans[0])
+    engine.prepare(plans[1])
+    engine.prepare(plans[2])          # evicts plans[0]
+    assert len(cache) == 2
+    engine.prepare(plans[0])          # miss again after eviction
+    assert cache.misses == 4
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+    with pytest.raises(ValueError):
+        PlanCache(maxsize=0)
+
+
+def test_plan_cache_interpret_bypasses_cache():
+    cache = PlanCache()
+    env = {"V": {0: 2.0}}
+    engine = ExecutionEngine(env=env, backend="interpret", cache=cache)
+    plan = db("sum(<i, v> in V) v")
+    assert engine.run(plan) == 2.0
+    assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+
+def test_env_signature_is_schema_level():
+    a = {"X": np.zeros(3), "n": 3}
+    b = {"n": 7, "X": np.ones(9)}
+    assert env_signature(a) == env_signature(b)
+    assert env_signature(a) != env_signature({"X": {0: 1.0}, "n": 3})
+
+
+def test_prepared_plan_backend_property():
+    catalog = Catalog()
+    catalog.add(DenseFormat.from_dense("V", np.array([1.0, 2.0])))
+    plan = db("sum(<i, v> in V_val) v")
+    for backend in BACKENDS:
+        engine = ExecutionEngine.for_catalog(catalog, backend=backend, cache=PlanCache())
+        assert engine.prepare(plan).backend == backend
 
 
 def test_result_conversions():
