@@ -1,10 +1,13 @@
-"""Quickstart: optimize and run a tensor program over flexible storage.
+"""Quickstart: a session over flexible storage — optimize once, execute many.
 
 The scenario from the paper's introduction: a sparse matrix ``A`` stored in
 CSR, a dense vector ``X``, and the BATAX kernel
-``Q(j) = Σ_ik β · A(i,j) · A(i,k) · X(k)``.  STOREL composes the program with
-the storage mappings, rewrites it (factorization + fusion), picks the
-cheapest plan with its cost model, compiles it to Python, and runs it.
+``Q(j) = Σ_ik β · A(i,j) · A(i,k) · X(k)``.  The Data Admin registers the
+tensors once in a :class:`~repro.session.Session`; STOREL composes the
+program with the storage mappings, rewrites it (factorization + fusion),
+picks the cheapest plan with its cost model and compiles it to Python —
+once, at ``prepare`` time.  Each ``execute`` then just re-binds the β
+parameter and runs.
 
 Run with::
 
@@ -18,9 +21,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
-from repro import storel
+from repro.session import Session
 from repro.data.synthetic import random_dense_vector, random_sparse_matrix
-from repro.storage import Catalog, CSRFormat, DenseFormat
+from repro.storage import CSRFormat, DenseFormat
 
 
 def main() -> None:
@@ -28,38 +31,45 @@ def main() -> None:
     a = random_sparse_matrix(size, size, density=0.02, seed=1)
     x = random_dense_vector(size, seed=2)
 
-    # 1. The data administrator registers how each tensor is stored.
-    catalog = (
-        Catalog()
-        .add(CSRFormat.from_dense("A", a))
-        .add(DenseFormat.from_dense("X", x))
-        .add_scalar("beta", 2.0)
+    # 1. The data administrator opens a session and registers how each
+    #    tensor is stored — once.
+    session = (
+        Session()
+        .register(CSRFormat.from_dense("A", a))
+        .register(DenseFormat.from_dense("X", x))
+        .set_scalar("beta", 2.0)
     )
     print("Registered tensors:")
-    print(catalog.describe())
+    print(session.catalog.describe())
     print()
     print("Storage mapping for A (CSR), written in SDQLite:")
-    print(" ", catalog["A"].mapping_source())
+    print(" ", session.catalog["A"].mapping_source())
     print()
 
-    # 2. The data scientist writes the tensor program against logical names.
+    # 2. The data scientist writes the tensor program against logical names
+    #    and prepares it: parse -> statistics -> cost-based optimization ->
+    #    compilation happen here, exactly once.
     program = (
         "sum(<i, Ai> in A) sum(<j, Aij> in Ai) sum(<k, Aik> in Ai) "
         "{ j -> beta * Aij * Aik * X(k) }"
     )
+    statement = session.prepare(program, dense_shape=(size,))
 
-    # 3. STOREL optimizes and executes it.
-    outcome = storel.run_detailed(program, catalog, dense_shape=(size,))
-    expected = 2.0 * (a.T @ (a @ x))
-    print("Result matches NumPy oracle:", np.allclose(outcome.result, expected))
+    # 3. Execution is now just parameter binding: sweep β without ever
+    #    re-optimizing.
+    for beta in (0.5, 1.0, 2.0):
+        result = statement.execute(beta=beta)
+        expected = beta * (a.T @ (a @ x))
+        print(f"beta={beta:4.1f}: result matches NumPy oracle:",
+              np.allclose(result, expected))
     print()
     print("Candidate plan costs considered by the optimizer:")
-    for name, cost in sorted(outcome.optimization.candidate_costs.items(),
+    for name, cost in sorted(statement.optimization.candidate_costs.items(),
                              key=lambda kv: kv[1]):
         print(f"  {name:26s} {cost:12.1f}")
     print()
     print("Generated Python for the chosen plan:")
-    print(outcome.plan_source)
+    print(statement.plan_source)
 
 
 if __name__ == "__main__":

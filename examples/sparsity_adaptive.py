@@ -1,7 +1,10 @@
 """Cost-based adaptation to sparsity and storage (the Fig. 8 / Fig. 9 story).
 
-The same BATAX program is optimized for the same matrix stored two ways (CSR
-and a hash trie) and at several densities.  The example prints which plan the
+The same BATAX program is prepared in one :class:`~repro.session.Session`
+while the matrix behind it is re-stored (CSR → hash trie) and re-generated
+at several densities.  Swapping storage with ``session.replace_format``
+bumps the catalog's schema epoch, so the prepared statement transparently
+re-optimizes on its next execution — and the example prints which plan the
 cost-based optimizer picks in each configuration and how long each plan
 variant actually takes, demonstrating that the choice tracks the data — the
 whole point of a cost-based (rather than purely syntactic) optimizer.
@@ -20,45 +23,48 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 from repro.baselines import FixedPlanSystem, reference_result
-from repro.core import Optimizer, Statistics
 from repro.data.synthetic import random_dense_vector, random_sparse_matrix
 from repro.kernels import BATAX_NESTED
-from repro.storage import Catalog, CSRFormat, DenseFormat, TrieFormat
-
-
-def build_catalog(a: np.ndarray, x: np.ndarray, storage: str) -> Catalog:
-    catalog = Catalog()
-    if storage == "csr":
-        catalog.add(CSRFormat.from_dense("A", a))
-    else:
-        catalog.add(TrieFormat.from_dense("A", a))
-    catalog.add(DenseFormat.from_dense("X", x))
-    catalog.add_scalar("beta", 0.5)
-    return catalog
+from repro.session import Session
+from repro.storage import CSRFormat, DenseFormat, TrieFormat
 
 
 def main() -> None:
     size = 128
+    exponents = (-8, -5, -2)
     x = random_dense_vector(size, seed=5)
+    session = (
+        Session()
+        .register(CSRFormat.from_dense(
+            "A", random_sparse_matrix(size, size, 2.0 ** exponents[0], seed=6)))
+        .register(DenseFormat.from_dense("X", x))
+        .set_scalar("beta", 0.5)
+    )
+    statement = session.prepare(BATAX_NESTED.program, dense_shape=(size,))
+
     print(f"{'density':>10s} {'storage':>8s} {'chosen plan':>24s} "
           f"{'naive ms':>10s} {'fused ms':>10s} {'fact. ms':>10s} {'both ms':>10s}")
-    for exponent in (-8, -5, -2):
+    for exponent in exponents:
         density = 2.0 ** exponent
         a = random_sparse_matrix(size, size, density, seed=6)
         for storage in ("csr", "trie"):
-            catalog = build_catalog(a, x, storage)
-            stats = Statistics.from_catalog(catalog)
-            decision = Optimizer(stats).optimize(
-                BATAX_NESTED.program, catalog.mappings(), method="greedy")
+            fmt = (CSRFormat if storage == "csr" else TrieFormat).from_dense("A", a)
+            # Re-storing A invalidates the prepared statement; its next
+            # execution re-runs the cost-based optimizer over the new
+            # storage and statistics.
+            session.replace_format(fmt)
+            expected = reference_result(BATAX_NESTED, session.catalog)  # includes beta
+            assert np.allclose(statement.execute(), expected)
             timings = {}
-            expected = reference_result(BATAX_NESTED, catalog)
             for variant in ("naive", "fused", "factorized", "fused+factorized"):
-                run = FixedPlanSystem(variant=variant).prepare(BATAX_NESTED, catalog)
+                run = FixedPlanSystem(variant=variant).prepare(
+                    BATAX_NESTED, session.catalog)
                 start = time.perf_counter()
                 result = run()
                 timings[variant] = (time.perf_counter() - start) * 1_000
                 assert np.allclose(result, expected)
-            print(f"{density:10.4f} {storage:>8s} {decision.chosen_candidate:>24s} "
+            chosen = statement.optimization.chosen_candidate
+            print(f"{density:10.4f} {storage:>8s} {chosen:>24s} "
                   f"{timings['naive']:10.1f} {timings['fused']:10.1f} "
                   f"{timings['factorized']:10.1f} {timings['fused+factorized']:10.1f}")
 

@@ -20,8 +20,20 @@ It provides:
   competitor systems, datasets, experiment harness).
 
 The one-call entry point is :mod:`repro.storel`
-(``storel.run(program, catalog, backend=...)``); see ``README.md`` for a
-quickstart.
+(``storel.run(program, catalog, backend=...)``); for the optimize-once /
+execute-many workflow use :mod:`repro.session` (``Session.prepare`` returning
+parameterizable prepared ``Statement`` objects — see ``docs/api.md``).  See
+``README.md`` for a quickstart.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
+
+
+def __getattr__(name):
+    # Lazy re-exports so `from repro import Session` works without making
+    # `import repro` pull in NumPy and the whole pipeline.
+    if name in ("Session", "Statement"):
+        from . import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

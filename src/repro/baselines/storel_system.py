@@ -9,12 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.optimizer import Optimizer
-from ..core.statistics import Statistics
 from ..core import strategies
 from ..core.compose import compose
 from ..execution.engine import ExecutionEngine, result_to_dense
 from ..kernels.programs import Kernel
+from ..session import Session
 from ..storage.catalog import Catalog
 from .base import RunCallable, System, output_shape
 
@@ -37,29 +36,38 @@ class StorelSystem(System):
         ``"interpret"`` (reference interpreter) or ``"vectorize"``
         (whole-array NumPy with automatic loop fallback); see
         ``docs/backends.md``.
+    session:
+        An optional shared :class:`~repro.session.Session`.  When given and
+        its catalog is the one being benchmarked, preparation reuses the
+        session's memoized statistics and optimization decisions — the
+        harness uses this so that measuring one kernel across several
+        backends optimizes it only once.  Otherwise a throwaway session is
+        built per :meth:`prepare`.
     """
 
     method: str = "greedy"
     backend: str = "compile"
     name: str = "STOREL"
+    session: Session | None = None
 
     def __post_init__(self):
         if self.name == "STOREL" and self.backend != "compile":
             self.name = f"STOREL[{self.backend}]"
 
     def prepare(self, kernel: Kernel, catalog: Catalog) -> RunCallable:
-        stats = Statistics.from_catalog(catalog)
-        optimizer = Optimizer(stats)
-        result = optimizer.optimize(kernel.program, catalog.mappings(), method=self.method)
-        engine = ExecutionEngine.for_catalog(catalog, backend=self.backend)
-        prepared = engine.prepare(result.plan)
-        shape = output_shape(kernel, catalog)
+        session = self.session
+        if session is None or session.catalog is not catalog:
+            session = Session(catalog, method=self.method)
+        statement = session.prepare(kernel.program, method=self.method,
+                                    backend=self.backend,
+                                    dense_shape=output_shape(kernel, catalog))
 
         def run():
-            return result_to_dense(prepared.run(), shape)
+            return statement.execute()
 
-        run.optimization = result  # type: ignore[attr-defined] - exposed for Table 4
-        run.plan_source = prepared.source  # type: ignore[attr-defined]
+        run.optimization = statement.optimization  # type: ignore[attr-defined] - Table 4
+        run.plan_source = statement.plan_source  # type: ignore[attr-defined]
+        run.statement = statement  # type: ignore[attr-defined]
         return run
 
 

@@ -59,22 +59,56 @@ class Statistics:
     def from_catalog(cls, catalog) -> "Statistics":
         """Derive statistics from a :class:`repro.storage.Catalog`."""
         stats = cls()
-        for name, profile in catalog.tensor_profiles().items():
-            stats.profiles[name] = card_from_profile(profile)
-        stats.kinds.update(catalog.physical_kinds())
-        stats.scalar_values.update(catalog.scalar_values())
-        stats.segments.update(catalog.segment_profiles())
-        # Physical arrays are themselves dictionaries position -> value; give
-        # them flat profiles based on their length so iterating them is costed.
-        env = catalog.globals()
-        for symbol, value in env.items():
-            if hasattr(value, "__len__") and symbol not in stats.profiles:
+        for name, value in catalog.scalars.items():
+            stats.set_scalar(name, value)
+        for fmt in catalog.tensors.values():
+            stats.apply_format(fmt)
+        return stats
+
+    # -- incremental maintenance ----------------------------------------------
+    #
+    # Sessions (:mod:`repro.session`) keep one Statistics instance in sync
+    # with a mutating catalog: each register / drop / replace / scalar rebind
+    # patches only the affected entries instead of re-deriving everything.
+    # ``from_catalog`` is expressed in terms of the same operations, so the
+    # incremental path and the full rebuild cannot drift apart.
+
+    def apply_format(self, fmt) -> None:
+        """(Re-)derive every statistic contributed by one storage format."""
+        self.profiles[fmt.name] = card_from_profile(fmt.profile())
+        self.kinds.update(fmt.physical_kinds())
+        self.segments.update(fmt.segment_profiles())
+        for symbol, value in fmt.physical().items():
+            if isinstance(value, (int, float)):
+                self.scalar_values[symbol] = value
+            # Physical arrays are themselves dictionaries position -> value;
+            # give them flat profiles based on their length so iterating them
+            # is costed.
+            elif hasattr(value, "__len__") and symbol not in self.profiles:
                 try:
                     length = float(len(value))
                 except TypeError:  # pragma: no cover - defensive
                     continue
-                stats.profiles[symbol] = Card(length, Card.scalar())
-        return stats
+                self.profiles[symbol] = Card(length, Card.scalar())
+
+    def remove_format(self, fmt) -> None:
+        """Drop every statistic contributed by ``fmt`` (inverse of :meth:`apply_format`)."""
+        self.profiles.pop(fmt.name, None)
+        for symbol in fmt.physical():
+            self.kinds.pop(symbol, None)
+            self.scalar_values.pop(symbol, None)
+            self.profiles.pop(symbol, None)
+            self.segments.pop(symbol, None)
+
+    def set_scalar(self, name: str, value: float) -> None:
+        """Record (or update) a global scalar's value and kind."""
+        self.scalar_values[name] = value
+        self.kinds[name] = "scalar"
+
+    def remove_scalar(self, name: str) -> None:
+        """Forget a global scalar (inverse of :meth:`set_scalar`)."""
+        self.scalar_values.pop(name, None)
+        self.kinds.pop(name, None)
 
     # -- queries --------------------------------------------------------------
 

@@ -105,6 +105,14 @@ class PlanCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
+    def discard(self, key: Hashable) -> None:
+        """Evict one entry if present (used to drop plans gone stale).
+
+        Unlike :meth:`get`, a miss here is not counted — discarding an
+        already-evicted key is a no-op.
+        """
+        self._entries.pop(key, None)
+
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
         self._entries.clear()
@@ -172,8 +180,8 @@ class ExecutionEngine:
                 artifact = vectorize_plan(plan)
             cache.put(key, artifact)
         if self.backend == "compile":
-            return PreparedPlan(plan, self.env, compiled=artifact)
-        return PreparedPlan(plan, self.env, vectorized=artifact)
+            return PreparedPlan(plan, self.env, compiled=artifact, cache_key=key)
+        return PreparedPlan(plan, self.env, vectorized=artifact, cache_key=key)
 
     def run(self, plan: Expr) -> Any:
         """Prepare and execute a plan once (cache-aware; see :meth:`prepare`)."""
@@ -186,12 +194,17 @@ class PreparedPlan:
 
     Exactly one of ``compiled`` / ``vectorized`` is set for the ``compile``
     and ``vectorize`` backends; both are ``None`` for ``interpret``.
+    ``cache_key`` records the :class:`PlanCache` key the artifact lives
+    under (``None`` for ``interpret``), so holders — e.g. prepared
+    statements in :mod:`repro.session` — can evict it when the catalog
+    schema changes underneath them.
     """
 
     plan: Expr
     env: Mapping[str, Any]
     compiled: CompiledPlan | None = None
     vectorized: VectorizedPlan | None = None
+    cache_key: Hashable | None = None
 
     @property
     def backend(self) -> str:
@@ -202,13 +215,20 @@ class PreparedPlan:
             return "vectorize"
         return "interpret"
 
-    def run(self) -> Any:
-        """Execute the plan against the bound environment."""
+    def run(self, env: Mapping[str, Any] | None = None) -> Any:
+        """Execute the plan against ``env`` (default: the bound environment).
+
+        Lowered artifacts are environment-independent, so running the same
+        prepared plan under a different binding of the same symbols — e.g. a
+        prepared statement re-binding a scalar parameter — is sound.
+        """
+        if env is None:
+            env = self.env
         if self.compiled is not None:
-            return self.compiled(self.env)
+            return self.compiled(env)
         if self.vectorized is not None:
-            return self.vectorized(self.env)
-        return evaluate(self.plan, self.env)
+            return self.vectorized(env)
+        return evaluate(self.plan, env)
 
     @property
     def source(self) -> str:

@@ -1,0 +1,467 @@
+"""Sessions and prepared statements: optimize once, execute many.
+
+The paper's workflow (Fig. 2) separates the *Data Admin* — who registers
+tensors, storage formats and statistics once — from the queries that run many
+times over that configuration.  A :class:`Session` is the database-style
+embodiment of that split:
+
+* it owns a :class:`~repro.storage.Catalog` and keeps derived state —
+  :class:`~repro.core.statistics.Statistics`, the physical environment, one
+  :class:`~repro.execution.engine.ExecutionEngine` per backend, and memoized
+  optimizer decisions — in sync with it;
+* :meth:`Session.prepare` runs the full pipeline (parse → statistics →
+  cost-based optimization → backend lowering) **once** and hands back a
+  :class:`Statement` whose :meth:`Statement.execute` only re-binds named
+  scalar parameters and executes — no re-parsing, no re-optimization;
+* catalog mutations (:meth:`Session.register`, :meth:`Session.set_scalar`,
+  :meth:`Session.drop`, :meth:`Session.replace_format`) are epoch-tracked:
+  a *schema* change (tensors added / dropped / re-stored, new symbols)
+  invalidates optimized plans — stale statements transparently re-prepare on
+  their next execution, evicting their old artifact from the plan cache if
+  the plan actually changed — while a *value-only* change (re-binding an
+  existing scalar) merely refreshes the bound environment.  Statistics are
+  patched incrementally per-tensor on session mutations rather than rebuilt
+  from scratch.
+
+A typical lifecycle::
+
+    from repro.session import Session
+
+    session = (Session()                      # connect
+               .register(CSRFormat.from_dense("A", a))
+               .register(DenseFormat.from_dense("X", x))
+               .set_scalar("beta", 2.0))      # register data once
+    statement = session.prepare(program, dense_shape=(n,))   # optimize once
+    for beta in (0.5, 1.0, 2.0):
+        result = statement.execute(beta=beta)                # execute many
+
+The one-shot helpers in :mod:`repro.storel` (``run`` / ``run_detailed`` /
+``explain``) are thin wrappers over a throwaway session, so every entry
+point shares this single code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from .core.optimizer import OptimizationResult, Optimizer
+from .core.statistics import Statistics
+from .execution.engine import (
+    GLOBAL_PLAN_CACHE,
+    ExecutionEngine,
+    PlanCache,
+    PreparedPlan,
+    result_to_dense,
+)
+from .sdqlite.ast import Expr, Sym, children
+from .sdqlite.errors import StorageError
+from .sdqlite.parser import parse_expr
+from .storage.catalog import Catalog
+
+
+def _as_program(program: "str | Expr") -> Expr:
+    if isinstance(program, str):
+        return parse_expr(program)
+    return program
+
+
+def _global_symbols(expr: Expr) -> set[str]:
+    """Every global symbol (physical array / scalar / tensor name) in ``expr``."""
+    symbols: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Sym):
+            symbols.add(node.name)
+        stack.extend(children(node))
+    return symbols
+
+
+@dataclass
+class RunOutcome:
+    """Result of a detailed run: the value plus the optimizer's output."""
+
+    result: Any
+    optimization: OptimizationResult
+    plan_source: str
+
+
+def format_explanation(optimization: OptimizationResult) -> str:
+    """Render an :class:`OptimizationResult` the way ``storel.explain`` prints it."""
+    from .sdqlite.pretty import pretty
+
+    lines = [
+        "== chosen plan ==",
+        pretty(optimization.plan, indent=True),
+        "",
+        f"estimated cost: {optimization.cost:.1f}",
+    ]
+    if optimization.candidate_costs:
+        lines.append("candidate costs:")
+        for name, cost in sorted(optimization.candidate_costs.items(), key=lambda kv: kv[1]):
+            lines.append(f"  {name:<26}: {cost:.1f}")
+    if optimization.stage1 is not None:
+        lines.append(f"stage 1 (storage-independent): {optimization.stage1.as_row()}")
+    if optimization.stage2 is not None:
+        lines.append(f"stage 2 (storage-aware):       {optimization.stage2.as_row()}")
+    return "\n".join(lines)
+
+
+class Session:
+    """A persistent connection to one catalog: registered data + derived state.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog to serve; a fresh empty one by default.  The session
+        mutates it in place through :meth:`register` / :meth:`set_scalar` /
+        :meth:`drop` / :meth:`replace_format`.
+    method:
+        Default optimization method for :meth:`prepare` / :meth:`run`
+        (``"greedy"`` or ``"egraph"``).
+    backend:
+        Default execution backend (``"interpret"`` / ``"compile"`` /
+        ``"vectorize"``).
+    cache:
+        The :class:`~repro.execution.engine.PlanCache` lowered plans are
+        kept in; the process-wide
+        :data:`~repro.execution.engine.GLOBAL_PLAN_CACHE` by default, so
+        throwaway sessions still share lowering work.
+    optimizer_options:
+        Default keyword arguments for every
+        :class:`~repro.core.optimizer.Optimizer` this session builds
+        (e.g. ``iter_limit``); per-statement options override them.
+    """
+
+    def __init__(self, catalog: Catalog | None = None, *, method: str = "greedy",
+                 backend: str = "compile", cache: PlanCache | None = None,
+                 optimizer_options: Mapping[str, Any] | None = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.method = method
+        self.backend = backend
+        self.cache = cache if cache is not None else GLOBAL_PLAN_CACHE
+        self.optimizer_options = dict(optimizer_options or {})
+        self._stats: Statistics | None = None
+        self._stats_version = -1
+        self._env: dict[str, Any] | None = None
+        self._env_version = -1
+        self._engines: dict[str, ExecutionEngine] = {}
+        self._opt_memo: dict[Any, OptimizationResult] = {}
+        self._opt_memo_version = -1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop all derived state (the catalog itself is left untouched).
+
+        Lowered artifacts are left in the plan cache: they are pure
+        functions of the plan, the default cache is shared process-wide,
+        and the cache is LRU-bounded anyway.
+        """
+        self._stats = None
+        self._env = None
+        self._engines.clear()
+        self._opt_memo.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Session(tensors={sorted(self.catalog.tensors)}, "
+                f"scalars={sorted(self.catalog.scalars)}, "
+                f"backend={self.backend!r}, method={self.method!r}, "
+                f"version={self.catalog.version})")
+
+    # -- catalog mutation (the Data Admin API) --------------------------------
+
+    def _stats_in_sync(self) -> bool:
+        return self._stats is not None and self._stats_version == self.catalog.version
+
+    # Each mutation delegates to the catalog (which bumps the epochs) and
+    # patches the memoized statistics in place.  No other invalidation is
+    # needed: the environment, engines, optimizer memo and statements all
+    # compare epochs lazily and rebuild / re-prepare on their next use.
+
+    def register(self, fmt) -> "Session":
+        """Register a new tensor (see :meth:`repro.storage.Catalog.add`)."""
+        in_sync = self._stats_in_sync()
+        self.catalog.add(fmt)
+        if in_sync:
+            self._stats.apply_format(fmt)
+            self._stats_version = self.catalog.version
+        return self
+
+    def set_scalar(self, name: str, value: float) -> "Session":
+        """Register a global scalar, or re-bind an existing one to a new value.
+
+        Re-binding is a value-only mutation: prepared statements stay valid
+        and only refresh their environment — no re-optimization, no
+        re-lowering.
+        """
+        in_sync = self._stats_in_sync()
+        self.catalog.set_scalar(name, value)
+        if in_sync:
+            self._stats.set_scalar(name, value)
+            self._stats_version = self.catalog.version
+        return self
+
+    def drop(self, name: str) -> "Session":
+        """Unregister a tensor or scalar (see :meth:`repro.storage.Catalog.drop`)."""
+        fmt = self.catalog.tensors.get(name)
+        in_sync = self._stats_in_sync()
+        self.catalog.drop(name)
+        if in_sync:
+            if fmt is not None:
+                self._stats.remove_format(fmt)
+            else:
+                self._stats.remove_scalar(name)
+            self._stats_version = self.catalog.version
+        return self
+
+    def replace_format(self, fmt) -> "Session":
+        """Re-store an already-registered tensor in a different format."""
+        old = self.catalog.tensors.get(fmt.name)
+        in_sync = self._stats_in_sync()
+        self.catalog.replace(fmt)
+        if in_sync:
+            self._stats.remove_format(old)
+            self._stats.apply_format(fmt)
+            self._stats_version = self.catalog.version
+        return self
+
+    # -- derived state, kept in sync with the catalog epochs ------------------
+
+    def statistics(self) -> Statistics:
+        """Statistics over the current catalog (memoized on the catalog epoch).
+
+        Session-driven mutations patch the memoized instance incrementally;
+        a full :meth:`Statistics.from_catalog` rebuild only happens when the
+        catalog was mutated behind the session's back.
+        """
+        if not self._stats_in_sync():
+            self._stats = Statistics.from_catalog(self.catalog)
+            self._stats_version = self.catalog.version
+        return self._stats
+
+    def environment(self) -> dict[str, Any]:
+        """The physical environment ``catalog.globals()``, memoized per epoch."""
+        if self._env is None or self._env_version != self.catalog.version:
+            self._env = self.catalog.globals()
+            self._env_version = self.catalog.version
+        return self._env
+
+    def engine(self, backend: str | None = None) -> ExecutionEngine:
+        """The session's execution engine for ``backend`` (default backend if None)."""
+        backend = backend or self.backend
+        env = self.environment()
+        engine = self._engines.get(backend)
+        if engine is None or engine.env is not env:
+            engine = ExecutionEngine(env=env, backend=backend, cache=self.cache)
+            self._engines[backend] = engine
+        return engine
+
+    def _optimize(self, expr: Expr, method: str,
+                  optimizer_options: Mapping[str, Any]) -> OptimizationResult:
+        """Cost-based optimization, memoized per (program, method, options, epoch)."""
+        if self._opt_memo_version != self.catalog.version:
+            self._opt_memo.clear()
+            self._opt_memo_version = self.catalog.version
+        options = dict(self.optimizer_options)
+        options.update(optimizer_options)
+        key = (expr, method, tuple(sorted(options.items())))
+        result = self._opt_memo.get(key)
+        if result is None:
+            optimizer = Optimizer(self.statistics(), **options)
+            result = optimizer.optimize(expr, self.catalog.mappings(), method=method)
+            self._opt_memo[key] = result
+        return result
+
+    # -- the query API --------------------------------------------------------
+
+    def prepare(self, program: "str | Expr", *, method: str | None = None,
+                backend: str | None = None, dense_shape: tuple[int, ...] | None = None,
+                optimizer_options: Mapping[str, Any] | None = None) -> "Statement":
+        """Optimize and lower ``program`` once; return a reusable :class:`Statement`."""
+        return Statement(self, _as_program(program),
+                         method=method or self.method,
+                         backend=backend or self.backend,
+                         dense_shape=dense_shape,
+                         optimizer_options=dict(optimizer_options or {}))
+
+    def run_detailed(self, program: "str | Expr", *, method: str | None = None,
+                     backend: str | None = None,
+                     dense_shape: tuple[int, ...] | None = None,
+                     optimizer_options: Mapping[str, Any] | None = None) -> RunOutcome:
+        """Prepare and execute once; return the value plus the plan details."""
+        statement = self.prepare(program, method=method, backend=backend,
+                                 dense_shape=dense_shape,
+                                 optimizer_options=optimizer_options)
+        return RunOutcome(result=statement.execute(),
+                          optimization=statement.optimization,
+                          plan_source=statement.plan_source)
+
+    def run(self, program: "str | Expr", *, method: str | None = None,
+            backend: str | None = None, dense_shape: tuple[int, ...] | None = None,
+            optimizer_options: Mapping[str, Any] | None = None) -> Any:
+        """Prepare and execute once; return just the value."""
+        return self.run_detailed(program, method=method, backend=backend,
+                                 dense_shape=dense_shape,
+                                 optimizer_options=optimizer_options).result
+
+    def explain(self, program: "str | Expr", *, method: str | None = None,
+                optimizer_options: Mapping[str, Any] | None = None) -> str:
+        """Human-readable description of the plan STOREL chooses for ``program``."""
+        optimization = self._optimize(_as_program(program), method or self.method,
+                                      dict(optimizer_options or {}))
+        return format_explanation(optimization)
+
+
+class Statement:
+    """A prepared statement: an optimized, lowered plan ready to execute many times.
+
+    Created by :meth:`Session.prepare`.  Execution re-binds named scalar
+    parameters into the prepared plan's environment — lowered artifacts are
+    environment-independent, so no re-parsing, re-optimization or
+    re-lowering happens on the hot path.  A statement notices catalog epochs
+    moving underneath it: after a schema change it transparently re-prepares
+    on the next execution (evicting its superseded artifact from the plan
+    cache); after a value-only change it merely refreshes its environment.
+    """
+
+    def __init__(self, session: Session, program: Expr, *, method: str,
+                 backend: str, dense_shape: tuple[int, ...] | None,
+                 optimizer_options: dict[str, Any]):
+        self._session = session
+        self.program = program
+        self.method = method
+        self.backend = backend
+        self.dense_shape = dense_shape
+        self.optimizer_options = optimizer_options
+        self.optimization: OptimizationResult = None  # set by _prepare
+        self._prepared: PreparedPlan = None
+        self._env: Mapping[str, Any] = {}
+        self._schema_version = -1
+        self._version = -1
+        self._prepare()
+
+    # -- preparation / invalidation -------------------------------------------
+
+    def _prepare(self) -> None:
+        session = self._session
+        self.optimization = session._optimize(self.program, self.method,
+                                              self.optimizer_options)
+        engine = session.engine(self.backend)
+        unbound = _global_symbols(self.optimization.plan) - set(engine.env)
+        if unbound:
+            raise StorageError(
+                f"plan references unbound symbol(s) {sorted(unbound)}; "
+                "a tensor or scalar the program needs is not registered "
+                "in the catalog (was it dropped?)")
+        self._prepared = engine.prepare(self.optimization.plan)
+        self._env = engine.env
+        self._schema_version = session.catalog.schema_version
+        self._version = session.catalog.version
+
+    @property
+    def is_stale(self) -> bool:
+        """True when a schema change invalidated the prepared plan."""
+        return self._schema_version != self._session.catalog.schema_version
+
+    def _revalidate(self) -> None:
+        catalog = self._session.catalog
+        if catalog.schema_version != self._schema_version:
+            # Re-optimize and re-lower.  When the schema change left the
+            # plan and symbol schema intact, the cache key is unchanged and
+            # re-preparation is a pure cache hit.  If the key did change,
+            # the old entry is dead weight for this statement — evict it,
+            # but only from a session-private cache: artifacts are plan-pure,
+            # so an entry in the shared process-wide cache may still serve
+            # other sessions (and that cache is LRU-bounded anyway).
+            old_key = self._prepared.cache_key if self._prepared else None
+            self._prepare()
+            if (old_key is not None and old_key != self._prepared.cache_key
+                    and self._session.cache is not GLOBAL_PLAN_CACHE):
+                self._session.cache.discard(old_key)
+        elif catalog.version != self._version:
+            self._env = self._session.environment()
+            self._version = catalog.version
+
+    # -- execution -------------------------------------------------------------
+
+    def _check_params(self, scalar_params: Mapping[str, Any]) -> None:
+        unknown = [name for name in scalar_params
+                   if name not in self._session.catalog.scalars]
+        if unknown:
+            raise StorageError(
+                f"unknown scalar parameter(s) {sorted(unknown)}; "
+                f"registered scalars: {sorted(self._session.catalog.scalars)}")
+
+    def _finish(self, result: Any) -> Any:
+        if self.dense_shape is not None:
+            return result_to_dense(result, self.dense_shape)
+        return result
+
+    def execute(self, **scalar_params: float) -> Any:
+        """Execute the prepared plan, re-binding the given scalar parameters.
+
+        Parameters must name scalars registered in the catalog (e.g.
+        ``statement.execute(beta=0.5)``); unknown names raise
+        :class:`~repro.sdqlite.errors.StorageError`.  Parameters given here
+        override the catalog value for this execution only.
+        """
+        self._revalidate()
+        env = self._env
+        if scalar_params:
+            self._check_params(scalar_params)
+            env = dict(env)
+            env.update(scalar_params)
+        return self._finish(self._prepared.run(env))
+
+    def execute_many(self, param_batches: Iterable[Mapping[str, float]]) -> list:
+        """Execute once per parameter binding, amortizing environment setup.
+
+        ``param_batches`` is an iterable of ``{scalar: value}`` mappings;
+        one mutable copy of the environment is built up front and patched
+        in place per batch, so a sweep over thousands of bindings costs one
+        dict copy total instead of one per call.  Each batch sees exactly
+        the catalog values plus its own bindings — scalars overridden by an
+        earlier batch are restored from the base environment first.
+        """
+        self._revalidate()
+        base = self._env
+        env = dict(base)
+        overridden: set[str] = set()
+        results = []
+        for params in param_batches:
+            self._check_params(params)
+            for name in overridden.difference(params):
+                env[name] = base[name]
+            env.update(params)
+            overridden = set(params)
+            results.append(self._finish(self._prepared.run(env)))
+        return results
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def plan(self) -> Expr:
+        """The chosen physical plan."""
+        return self.optimization.plan
+
+    @property
+    def cost(self) -> float:
+        """The optimizer's estimated cost of the chosen plan."""
+        return self.optimization.cost
+
+    @property
+    def plan_source(self) -> str:
+        """Generated backend source (``compile``) or a backend marker."""
+        return self._prepared.source
+
+    def explain(self) -> str:
+        """Human-readable description of this statement's prepared plan."""
+        return format_explanation(self.optimization)

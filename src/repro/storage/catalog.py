@@ -4,6 +4,17 @@ The catalog plays the role of the "Data Admin" side of Fig. 2 in the paper:
 it holds, for every logical tensor, the chosen storage format (and therefore
 its physical symbols and Tensor Storage Mapping) plus the data statistics the
 cost-based optimizer consumes.
+
+The catalog is mutable — tensors can be registered (:meth:`Catalog.add`),
+dropped (:meth:`Catalog.drop`) and re-stored in a different format
+(:meth:`Catalog.replace`), and scalars can be rebound
+(:meth:`Catalog.set_scalar`).  Every mutation bumps :attr:`Catalog.version`;
+mutations that change the *schema* (the set of symbols or the storage
+formats behind them, as opposed to merely the value of an existing scalar)
+also bump :attr:`Catalog.schema_version`.  Sessions and prepared statements
+(:mod:`repro.session`) key their memoized statistics, environments and
+lowered plans on these epochs: a ``version`` bump invalidates bound values,
+a ``schema_version`` bump additionally invalidates optimized plans.
 """
 
 from __future__ import annotations
@@ -23,6 +34,15 @@ class Catalog:
 
     tensors: dict[str, StorageFormat] = field(default_factory=dict)
     scalars: dict[str, float] = field(default_factory=dict)
+    #: Bumped on every mutation (including scalar re-binds).
+    version: int = 0
+    #: Bumped only when the symbol set / storage formats change.
+    schema_version: int = 0
+
+    def _bump(self, *, schema: bool) -> None:
+        self.version += 1
+        if schema:
+            self.schema_version += 1
 
     # -- registration ---------------------------------------------------------
 
@@ -30,12 +50,47 @@ class Catalog:
         """Register a tensor; its logical name must be unique in the catalog."""
         if fmt.name in self.tensors:
             raise StorageError(f"tensor {fmt.name!r} is already registered")
+        if fmt.name in self.scalars:
+            raise StorageError(f"{fmt.name!r} is already registered as a scalar")
         self.tensors[fmt.name] = fmt
+        self._bump(schema=True)
         return self
 
     def add_scalar(self, name: str, value: float) -> "Catalog":
         """Register a global scalar (e.g. the β of the BATAX kernel)."""
+        if name in self.tensors:
+            raise StorageError(f"{name!r} is already registered as a tensor")
+        self._bump(schema=name not in self.scalars)
         self.scalars[name] = value
+        return self
+
+    #: Re-binding an existing scalar is a value-only mutation (no schema bump),
+    #: so prepared statements only need to refresh their environment.
+    set_scalar = add_scalar
+
+    def drop(self, name: str) -> "Catalog":
+        """Unregister a tensor or scalar; its physical symbols become free again."""
+        if name in self.tensors:
+            del self.tensors[name]
+        elif name in self.scalars:
+            del self.scalars[name]
+        else:
+            raise StorageError(f"cannot drop {name!r}: not registered")
+        self._bump(schema=True)
+        return self
+
+    def replace(self, fmt: StorageFormat) -> "Catalog":
+        """Swap an already-registered tensor's storage format for ``fmt``.
+
+        The logical name must already be registered (use :meth:`add` for new
+        tensors); the old format's physical symbols are dropped with it, so
+        re-storing a tensor never leaves stale symbol collisions behind.
+        """
+        if fmt.name not in self.tensors:
+            raise StorageError(
+                f"cannot replace {fmt.name!r}: not registered (use add() first)")
+        self.tensors[fmt.name] = fmt
+        self._bump(schema=True)
         return self
 
     def __contains__(self, name: str) -> bool:

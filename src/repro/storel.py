@@ -15,41 +15,29 @@ the README::
         "sum(<(i,j), a> in A, <k, x> in X) if (j == k) then { i -> beta * a * x }",
         catalog)
 
-Under the hood this parses the program, derives statistics from the catalog,
-runs the cost-based optimizer, lowers the chosen plan on the selected
-execution backend (``backend="compile"`` by default; ``"interpret"`` and
-``"vectorize"`` are the alternatives — see ``docs/backends.md``), executes it
-and returns the result (a scalar or a nested dict, or a dense NumPy array
-when ``dense_shape`` is given).  Lowered plans are cached process-wide, so
-repeated calls with the same plan shape skip re-compilation.
+Every function here is a thin wrapper over a throwaway
+:class:`repro.session.Session`, so all entry points share one pipeline:
+parse, derive statistics from the catalog, run the cost-based optimizer,
+lower the chosen plan on the selected execution backend
+(``backend="compile"`` by default; ``"interpret"`` and ``"vectorize"`` are
+the alternatives — see ``docs/backends.md``), execute, and return the result
+(a scalar or a nested dict, or a dense NumPy array when ``dense_shape`` is
+given).  Lowered plans are cached process-wide, so repeated calls with the
+same plan shape skip re-compilation — but each call still pays for parsing,
+statistics and optimization.  When the same program runs many times over one
+catalog, hold a :class:`~repro.session.Session` open and use
+:meth:`~repro.session.Session.prepare` instead (see ``docs/api.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Mapping
 
-from .core.optimizer import OptimizationResult, Optimizer
-from .core.statistics import Statistics
-from .execution.engine import ExecutionEngine, result_to_dense
 from .sdqlite.ast import Expr
-from .sdqlite.parser import parse_expr
+from .session import RunOutcome, Session
 from .storage.catalog import Catalog
 
-
-@dataclass
-class RunOutcome:
-    """Result of :func:`run_detailed`: the value plus the optimizer's output."""
-
-    result: Any
-    optimization: OptimizationResult
-    plan_source: str
-
-
-def _as_program(program: "str | Expr") -> Expr:
-    if isinstance(program, str):
-        return parse_expr(program)
-    return program
+__all__ = ["RunOutcome", "run", "run_detailed", "explain"]
 
 
 def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
@@ -78,16 +66,8 @@ def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "gree
         Extra keyword arguments forwarded to
         :class:`~repro.core.optimizer.Optimizer` (e.g. ``iter_limit``).
     """
-    expr = _as_program(program)
-    stats = Statistics.from_catalog(catalog)
-    optimizer = Optimizer(stats, **dict(optimizer_options or {}))
-    optimization = optimizer.optimize(expr, catalog.mappings(), method=method)
-    engine = ExecutionEngine.for_catalog(catalog, backend=backend)
-    prepared = engine.prepare(optimization.plan)
-    result = prepared.run()
-    if dense_shape is not None:
-        result = result_to_dense(result, dense_shape)
-    return RunOutcome(result=result, optimization=optimization, plan_source=prepared.source)
+    return Session(catalog, method=method, backend=backend).run_detailed(
+        program, dense_shape=dense_shape, optimizer_options=optimizer_options)
 
 
 def run(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
@@ -102,26 +82,12 @@ def run(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
                         dense_shape=dense_shape).result
 
 
-def explain(program: "str | Expr", catalog: Catalog, *, method: str = "greedy") -> str:
-    """Return a human-readable description of the plan STOREL chooses."""
-    from .sdqlite.pretty import pretty
+def explain(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
+            optimizer_options: Mapping[str, Any] | None = None) -> str:
+    """Return a human-readable description of the plan STOREL chooses.
 
-    expr = _as_program(program)
-    stats = Statistics.from_catalog(catalog)
-    optimizer = Optimizer(stats)
-    optimization = optimizer.optimize(expr, catalog.mappings(), method=method)
-    lines = [
-        "== chosen plan ==",
-        pretty(optimization.plan, indent=True),
-        "",
-        f"estimated cost: {optimization.cost:.1f}",
-    ]
-    if optimization.candidate_costs:
-        lines.append("candidate costs:")
-        for name, cost in sorted(optimization.candidate_costs.items(), key=lambda kv: kv[1]):
-            lines.append(f"  {name:<26}: {cost:.1f}")
-    if optimization.stage1 is not None:
-        lines.append(f"stage 1 (storage-independent): {optimization.stage1.as_row()}")
-    if optimization.stage2 is not None:
-        lines.append(f"stage 2 (storage-aware):       {optimization.stage2.as_row()}")
-    return "\n".join(lines)
+    Routed through the same session pipeline as :func:`run`, so it accepts
+    (and honours) the same ``optimizer_options``.
+    """
+    return Session(catalog, method=method).explain(
+        program, optimizer_options=optimizer_options)

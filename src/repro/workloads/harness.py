@@ -109,15 +109,19 @@ def backend_shootout(kernel: Kernel, catalog: Catalog, *,
     ``backends`` is a sequence of backend names, each one of ``"interpret"``,
     ``"compile"`` or ``"vectorize"`` (the full set by default); each backend
     yields one :class:`Measurement` whose system name is
-    ``STOREL[<backend>]``.  Plan optimization is shared work but re-done per
-    backend; as everywhere in the harness, only execution is timed.
+    ``STOREL[<backend>]``.  One :class:`~repro.session.Session` is shared
+    across all backends, so statistics and plan optimization happen once per
+    kernel rather than once per backend; as everywhere in the harness, only
+    execution is timed.
     """
     from ..baselines.storel_system import StorelSystem
+    from ..session import Session
 
+    session = Session(catalog, method=method)
     measurements = []
     for backend in backends:
         system = StorelSystem(method=method, backend=backend,
-                              name=f"STOREL[{backend}]")
+                              name=f"STOREL[{backend}]", session=session)
         measurements.append(
             measure(system, kernel, catalog, dataset=dataset, repeats=repeats, check=check))
     return measurements

@@ -51,6 +51,73 @@ def test_catalog_rejects_duplicates():
         other.globals()
 
 
+def test_catalog_drop_frees_name_and_symbols():
+    catalog = Catalog().add(CSRFormat.from_dense("A", MATRIX)).add_scalar("beta", 1.0)
+    catalog.drop("A")
+    assert "A" not in catalog
+    assert "A_val" not in catalog.globals()
+    catalog.add(DenseFormat.from_dense("A", MATRIX))  # name is free again
+    assert catalog["A"].format_name == "dense"
+    catalog.drop("beta")
+    assert "beta" not in catalog
+    with pytest.raises(StorageError):
+        catalog.drop("beta")  # already gone
+    with pytest.raises(StorageError):
+        catalog.drop("nope")
+
+
+def test_catalog_drop_cleans_up_symbol_collisions():
+    catalog = Catalog().add(CSRFormat.from_dense("A", MATRIX))
+    # Forcibly register a second tensor whose physical symbols collide.
+    catalog.tensors["B"] = CSRFormat.from_dense("A", MATRIX)
+    with pytest.raises(StorageError):
+        catalog.globals()
+    catalog.drop("B")
+    assert "A_val" in catalog.globals()  # collision gone with the dropped tensor
+
+
+def test_catalog_replace_swaps_format_in_place():
+    catalog = Catalog().add(CSRFormat.from_dense("A", MATRIX))
+    with pytest.raises(StorageError):  # re-adding still raises; replace is explicit
+        catalog.add(DenseFormat.from_dense("A", MATRIX))
+    catalog.replace(DenseFormat.from_dense("A", MATRIX))
+    assert catalog["A"].format_name == "dense"
+    env = catalog.globals()
+    assert "A_pos2" not in env  # the old CSR symbols were dropped with the format
+    np.testing.assert_allclose(catalog["A"].to_dense(), MATRIX)
+    with pytest.raises(StorageError):
+        catalog.replace(DenseFormat.from_dense("Z", MATRIX))  # never registered
+
+
+def test_catalog_rejects_tensor_scalar_name_collisions():
+    catalog = Catalog().add_scalar("beta", 1.0)
+    with pytest.raises(StorageError):
+        catalog.add(DenseFormat.from_dense("beta", MATRIX))
+    catalog.add(CSRFormat.from_dense("A", MATRIX))
+    with pytest.raises(StorageError):
+        catalog.add_scalar("A", 2.0)
+
+
+def test_catalog_epochs_track_schema_vs_value_changes():
+    catalog = Catalog()
+    v0, s0 = catalog.version, catalog.schema_version
+    catalog.add(CSRFormat.from_dense("A", MATRIX))
+    assert catalog.version > v0 and catalog.schema_version > s0
+    v1, s1 = catalog.version, catalog.schema_version
+    catalog.add_scalar("beta", 1.0)  # new symbol: schema change
+    assert catalog.version > v1 and catalog.schema_version > s1
+    v2, s2 = catalog.version, catalog.schema_version
+    catalog.set_scalar("beta", 3.0)  # value-only re-bind: no schema change
+    assert catalog.version > v2 and catalog.schema_version == s2
+    assert catalog.scalars["beta"] == 3.0
+    v3, s3 = catalog.version, catalog.schema_version
+    catalog.replace(DenseFormat.from_dense("A", MATRIX))
+    assert catalog.version > v3 and catalog.schema_version > s3
+    v4, s4 = catalog.version, catalog.schema_version
+    catalog.drop("A")
+    assert catalog.version > v4 and catalog.schema_version > s4
+
+
 def test_scipy_conversions():
     fmt = from_scipy("csr", "A", sp.csr_matrix(MATRIX))
     np.testing.assert_allclose(fmt.to_dense(), MATRIX)
