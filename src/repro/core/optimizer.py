@@ -76,18 +76,47 @@ class OptimizationResult:
         return rows
 
 
+#: Engine configuration that reproduces the textbook (pre-index) saturation
+#: loop: full rescans, materialized match lists, no rule scheduling, lazy
+#: best-term maintenance.  Used by ``benchmarks/bench_optimizer.py`` as the
+#: before-side of the before/after comparison; pass ``**LEGACY_ENGINE`` to
+#: :class:`Optimizer` to get it.
+LEGACY_ENGINE: dict = {
+    "scheduler": "simple",
+    "indexed": False,
+    "incremental": False,
+    "eager_terms": False,
+}
+
+
 class Optimizer:
     """Cost-based optimizer over flexible storage."""
 
     def __init__(self, stats: Statistics, *, iter_limit: int = 8,
                  node_limit: int = 5_000, time_limit: float = 5.0,
-                 match_limit_per_rule: int = 400, seed_candidates: bool = True):
+                 match_limit_per_rule: int = 400, seed_candidates: bool = True,
+                 scheduler: str = "backoff", indexed: bool = True,
+                 incremental: bool = True, ban_length: int = 4,
+                 eager_terms: bool = True):
         self.stats = stats
         self.iter_limit = iter_limit
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.match_limit_per_rule = match_limit_per_rule
         self.seed_candidates = seed_candidates
+        self.scheduler = scheduler
+        self.indexed = indexed
+        self.incremental = incremental
+        self.ban_length = ban_length
+        self.eager_terms = eager_terms
+
+    def _make_runner(self, egraph: EGraph, rules) -> Runner:
+        return Runner(egraph, rules,
+                      iter_limit=self.iter_limit, node_limit=self.node_limit,
+                      time_limit=self.time_limit,
+                      match_limit_per_rule=self.match_limit_per_rule,
+                      scheduler=self.scheduler, indexed=self.indexed,
+                      incremental=self.incremental, ban_length=self.ban_length)
 
     # ------------------------------------------------------------------
 
@@ -133,13 +162,9 @@ class Optimizer:
     def _optimize_egraph(self, program: Expr, mappings: Mapping[str, Expr],
                          naive: Expr) -> OptimizationResult:
         # Stage 1: storage-independent optimization of the tensor program.
-        stage1_graph = EGraph()
+        stage1_graph = EGraph(eager_terms=self.eager_terms)
         root1 = stage1_graph.add_expr(program)
-        runner1 = Runner(stage1_graph, rule_sets.logical_rules(),
-                         iter_limit=self.iter_limit, node_limit=self.node_limit,
-                         time_limit=self.time_limit,
-                         match_limit_per_rule=self.match_limit_per_rule)
-        report1 = runner1.run()
+        report1 = self._make_runner(stage1_graph, rule_sets.logical_rules()).run()
         logical_model = CostModel(self.stats, require_physical=False)
         stage1_plan, stage1_cost = logical_model.extract(stage1_graph, root1)
         stage1 = StageReport("storage-independent", report1, stage1_cost)
@@ -148,7 +173,7 @@ class Optimizer:
         composed = compose(stage1_plan, mappings)
 
         # Stage 2: storage-aware optimization of the composed plan.
-        stage2_graph = EGraph()
+        stage2_graph = EGraph(eager_terms=self.eager_terms)
         root2 = stage2_graph.add_expr(composed)
         candidate_costs: dict[str, float] = {}
         if self.seed_candidates:
@@ -158,11 +183,7 @@ class Optimizer:
                 seeded = stage2_graph.add_expr(plan)
                 stage2_graph.union(root2, seeded)
             stage2_graph.rebuild()
-        runner2 = Runner(stage2_graph, rule_sets.all_rules(),
-                         iter_limit=self.iter_limit, node_limit=self.node_limit,
-                         time_limit=self.time_limit,
-                         match_limit_per_rule=self.match_limit_per_rule)
-        report2 = runner2.run()
+        report2 = self._make_runner(stage2_graph, rule_sets.all_rules()).run()
 
         physical_model = CostModel(self.stats, require_physical=True)
         try:

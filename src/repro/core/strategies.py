@@ -465,7 +465,11 @@ def rewrite_everywhere(term: Expr, transforms: Iterable[Transform],
                 new_child, child_changed = rewrite_once(child)
                 changed = changed or child_changed
                 new_kids.append(new_child)
-            node = rebuild(node, new_kids)
+            if changed:
+                # Only reallocate the spine when a child actually changed;
+                # fixpoint passes over already-normalized plans then allocate
+                # nothing (this runs once per candidate plan per optimize).
+                node = rebuild(node, new_kids)
         for transform in transforms:
             result = transform(node)
             if result is not None and result != node:

@@ -5,7 +5,15 @@ from .extract import Extractor, ast_size_cost, extract_smallest
 from .language import ENode, ast_to_label, label_binders, label_to_ast
 from .pattern import Pattern, parse_pattern
 from .rewrite import Rewrite, bidirectional, var_independent_of, vars_distinct
-from .runner import Runner, RunnerReport, saturate
+from .runner import (
+    BackoffScheduler,
+    IterationStats,
+    RuleStats,
+    Runner,
+    RunnerReport,
+    SimpleScheduler,
+    saturate,
+)
 from .unionfind import UnionFind
 
 __all__ = [
@@ -14,6 +22,7 @@ __all__ = [
     "ENode", "ast_to_label", "label_binders", "label_to_ast",
     "Pattern", "parse_pattern",
     "Rewrite", "bidirectional", "var_independent_of", "vars_distinct",
-    "Runner", "RunnerReport", "saturate",
+    "BackoffScheduler", "IterationStats", "RuleStats",
+    "Runner", "RunnerReport", "SimpleScheduler", "saturate",
     "UnionFind",
 ]

@@ -13,27 +13,54 @@ paper's optimizer (Sec. 5.3):
 * every class also keeps its smallest known concrete term
   (``best_term``), which dynamic rewrites use when they need to perform
   substitution at the term level.
+
+Three auxiliary structures keep equality saturation fast (see
+``docs/optimizer.md``):
+
+* an **operator index** mapping e-node labels to the classes that contain a
+  node with that label, so e-matching probes only plausible root classes
+  instead of scanning every class for every rule.  The index is append-only;
+  entries are resolved through the union-find (and lazily compacted) at probe
+  time, so ``union`` needs no index maintenance.
+* **dirty marks**: every class that gains nodes (a fresh insertion or a
+  union) is recorded, and :meth:`take_dirty` hands the accumulated marks to
+  the runner, which re-matches rules only against the dirty classes and their
+  ancestors (:meth:`ancestors_closure`) — new matches can only be rooted
+  there.
+* maintained **node/class counters** making :attr:`num_nodes` /
+  :attr:`num_classes` O(1) (the runner reads them every iteration).
+
+``best_term`` is maintained *eagerly*: when a class is created its term is
+assembled from its children's best terms in O(arity), so dynamic rewrites
+never fall back to a whole-graph extraction.  ``eager_terms=False`` restores
+the historical lazy behaviour (kept for the before/after benchmark).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Iterable, Iterator
 
 from ..sdqlite.ast import Expr, node_count
-from ..sdqlite.debruijn import free_indices
 from ..sdqlite.errors import OptimizationError
-from .language import ENode, ast_children, ast_to_label, label_binders, label_to_ast
+from .language import ENode, Label, ast_children, ast_to_label, label_binders, label_to_ast
 from .unionfind import UnionFind
 
 
 @dataclass
 class EClass:
-    """One equivalence class: its nodes, parents, analysis data and best term."""
+    """One equivalence class: its nodes, parents, analysis data and best term.
+
+    ``parents`` holds ``[node, class_id]`` entries.  One entry per e-node is
+    *shared* between all of the node's child classes (it is a mutable list,
+    not a tuple): when a repair re-canonicalizes the node, every child's
+    parents list observes the update, so a later repair of another child pops
+    the node's **current** hashcons key instead of a stale historical form.
+    """
 
     identifier: int
     nodes: list[ENode] = field(default_factory=list)
-    parents: list[tuple[ENode, int]] = field(default_factory=list)
+    parents: list[list] = field(default_factory=list)
     free_vars: frozenset[int] = frozenset()
     best_term: Expr | None = None
     best_size: int = 1 << 30
@@ -42,39 +69,106 @@ class EClass:
 class EGraph:
     """An e-graph over SDQLite expressions in De Bruijn form."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, eager_terms: bool = True) -> None:
         self._union_find = UnionFind()
+        # Hot-path binding: ``find`` is called millions of times per
+        # saturation; skipping the delegating method call is measurable.
+        self.find = self._union_find.find
         self._classes: dict[int, EClass] = {}
         self._hashcons: dict[ENode, int] = {}
         self._pending: list[int] = []
+        self._label_index: dict[Label, dict[int, None]] = {}
+        self._dirty: dict[int, None] = {}
+        self._num_nodes = 0
+        self._eager_terms = eager_terms
         self.unions_performed = 0
 
     # -- basic queries --------------------------------------------------------
 
-    def find(self, identifier: int) -> int:
-        return self._union_find.find(identifier)
-
     def classes(self) -> Iterator[EClass]:
         """Iterate over canonical e-classes."""
-        for identifier, eclass in self._classes.items():
-            if self.find(identifier) == identifier:
-                yield eclass
+        return iter(self._classes.values())
 
     def __getitem__(self, identifier: int) -> EClass:
         return self._classes[self.find(identifier)]
 
     @property
     def num_classes(self) -> int:
-        return sum(1 for _ in self.classes())
+        """Number of canonical classes — O(1), ``_classes`` only holds roots."""
+        return len(self._classes)
 
     @property
     def num_nodes(self) -> int:
-        return sum(len(eclass.nodes) for eclass in self.classes())
+        """Total e-nodes over canonical classes — O(1) maintained counter."""
+        return self._num_nodes
 
     @property
     def memo_size(self) -> int:
         """Size of the hashcons (the 'memo' reported in Table 4 of the paper)."""
         return len(self._hashcons)
+
+    # -- operator index --------------------------------------------------------
+
+    def classes_with_label(self, label: Label) -> list[int]:
+        """Canonical ids of classes containing a node with ``label``.
+
+        Entries are stored under the id the label was first seen in and
+        resolved through the union-find here; when many entries have collapsed
+        onto few classes the bucket is compacted in place.
+        """
+        bucket = self._label_index.get(label)
+        if not bucket:
+            return []
+        find = self.find
+        out: dict[int, None] = {}
+        for identifier in bucket:
+            out.setdefault(find(identifier), None)
+        if len(out) * 2 < len(bucket):
+            self._label_index[label] = dict.fromkeys(out)
+        return list(out)
+
+    # -- dirty tracking --------------------------------------------------------
+
+    def take_dirty(self) -> list[int]:
+        """Drain and return the classes dirtied since the previous drain.
+
+        A class is dirty when it gained nodes: it was freshly created or it
+        absorbed another class in a union.  Ids are canonicalized and
+        deduplicated; dead ids resolve to their surviving root.
+        """
+        if not self._dirty:
+            return []
+        find = self.find
+        out = list(dict.fromkeys(find(identifier) for identifier in self._dirty))
+        self._dirty.clear()
+        return out
+
+    def ancestors_closure(self, identifiers: Iterable[int],
+                          visited: dict[int, None] | None = None) -> dict[int, None]:
+        """The given classes plus everything reachable via parent edges.
+
+        A new e-matching match can only be rooted at a class whose subgraph
+        changed; that is exactly the ancestor closure of the dirty classes.
+        ``visited`` (updated in place and returned when given) prunes the
+        walk at classes whose cones were already traversed, so repeated
+        refreshes within one runner iteration stay linear.
+        """
+        find = self.find
+        out: dict[int, None] = {} if visited is None else visited
+        stack = [find(identifier) for identifier in identifiers]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out[current] = None
+            eclass = self._classes.get(current)
+            if eclass is None:
+                continue
+            for _, parent_class in eclass.parents:
+                parent = find(parent_class)
+                if parent not in out:
+                    stack.append(parent)
+        return out
 
     # -- insertion ------------------------------------------------------------
 
@@ -87,33 +181,65 @@ class EGraph:
         eclass = EClass(identifier)
         eclass.nodes.append(enode)
         eclass.free_vars = self._make_free_vars(enode)
+        if self._eager_terms:
+            # Assemble the best term bottom-up from the children's best terms:
+            # O(arity) instead of a whole-graph extraction on first use.
+            size = 1
+            kids: list[Expr] = []
+            for child in enode.children:
+                child_class = self._classes[self.find(child)]
+                kids.append(child_class.best_term)
+                size += child_class.best_size
+            eclass.best_term = label_to_ast(enode.label, kids)
+            eclass.best_size = size
         self._classes[identifier] = eclass
         self._hashcons[enode] = identifier
-        for child in enode.children:
-            self._classes[self.find(child)].parents.append((enode, identifier))
+        self._label_index.setdefault(enode.label, {})[identifier] = None
+        self._dirty[identifier] = None
+        self._num_nodes += 1
+        if enode.children:
+            entry = [enode, identifier]
+            for child in dict.fromkeys(enode.children):
+                self._classes[self.find(child)].parents.append(entry)
         return identifier
 
     def add_expr(self, expr: Expr) -> int:
         """Insert a whole AST (in De Bruijn form); returns its e-class id."""
-        kids = [self.add_expr(child) for child in ast_children(expr)]
-        label = ast_to_label(expr)
-        identifier = self.add_enode(ENode(label, tuple(kids)))
-        self._offer_term(identifier, expr)
-        return identifier
+        return self._add_expr_sized(expr)[0]
 
-    def _offer_term(self, identifier: int, expr: Expr) -> None:
-        eclass = self._classes[self.find(identifier)]
-        size = node_count(expr)
+    def _add_expr_sized(self, expr: Expr) -> tuple[int, int]:
+        """Recursive insertion carrying the subtree size bottom-up, so each
+        level's best-term offer is O(arity) instead of an O(subtree)
+        ``node_count`` recomputation (O(n²) over the whole insertion)."""
+        size = 1
+        kids = []
+        for child in ast_children(expr):
+            child_id, child_size = self._add_expr_sized(child)
+            kids.append(child_id)
+            size += child_size
+        identifier = self.add_enode(ENode(ast_to_label(expr), tuple(kids)))
+        self._offer_term(identifier, expr, size)
+        return identifier, size
+
+    def _offer_term(self, identifier: int, expr: Expr, size: int | None = None) -> None:
+        identifier = self.find(identifier)
+        eclass = self._classes[identifier]
+        if size is None:
+            size = node_count(expr)
         if size < eclass.best_size:
             eclass.best_size = size
             eclass.best_term = expr
+            # A smaller representative term is observable state for dynamic
+            # rewrites (they transform it), so the class counts as dirty.
+            self._dirty[identifier] = None
 
     def best_term(self, identifier: int) -> Expr:
         """The smallest concrete term known for the class of ``identifier``."""
         eclass = self._classes[self.find(identifier)]
         if eclass.best_term is None:
-            # Fall back to a size-based extraction (rare: only for classes
-            # created by instantiating pattern templates).
+            # Only reachable with ``eager_terms=False``: fall back to a
+            # size-based extraction (classes created by instantiating pattern
+            # templates have no offered term).
             from .extract import extract_smallest
 
             eclass.best_term = extract_smallest(self, identifier)
@@ -147,37 +273,60 @@ class EGraph:
             winner.best_term = loser.best_term
         del self._classes[other]
         self._pending.append(merged)
+        self._dirty[merged] = None
         self.unions_performed += 1
         return merged
 
     def rebuild(self) -> None:
-        """Restore the congruence invariant after a batch of unions."""
+        """Restore the congruence invariant after a batch of unions.
+
+        The worklist accumulated by :meth:`union` is processed in rounds;
+        congruence unions discovered while repairing re-enter the worklist
+        and are handled in the next round.
+        """
         while self._pending:
-            todo = {self.find(identifier) for identifier in self._pending}
+            todo = dict.fromkeys(self.find(identifier) for identifier in self._pending)
             self._pending.clear()
             for identifier in todo:
                 self._repair(identifier)
 
     def _repair(self, identifier: int) -> None:
-        eclass = self._classes.get(self.find(identifier))
+        root = self.find(identifier)
+        eclass = self._classes.get(root)
         if eclass is None:
             return
-        # Re-canonicalize parents and merge congruent ones.
-        new_parents: dict[ENode, int] = {}
-        for parent_node, parent_class in eclass.parents:
+        # Re-canonicalize parents and merge congruent ones.  Entries are
+        # shared with the other child classes; mutating them in place keeps
+        # every list pointing at the node's current hashcons key.
+        new_parents: dict[ENode, list] = {}
+        for entry in eclass.parents:
+            parent_node, parent_class = entry
             self._hashcons.pop(parent_node, None)
             canonical = parent_node.canonicalize(self.find)
             parent_class = self.find(parent_class)
-            if canonical in new_parents:
-                self.union(parent_class, new_parents[canonical])
+            existing = new_parents.get(canonical)
+            if existing is not None:
+                self.union(parent_class, existing[1])
                 parent_class = self.find(parent_class)
-            new_parents[canonical] = parent_class
+                existing[1] = parent_class
+            else:
+                new_parents[canonical] = entry
+            entry[0] = canonical
+            entry[1] = parent_class
             self._hashcons[canonical] = parent_class
-        eclass.parents = [(node, cls) for node, cls in new_parents.items()]
+            if self.find(root) != root:
+                # The congruence union just merged this class away (it was
+                # its own parent and lost union-by-size).  The survivor
+                # absorbed all of these parent entries and is pending, so it
+                # will be repaired in a later round — stop here rather than
+                # keep mutating (and mis-counting nodes of) a dead class.
+                return
+        eclass.parents = list(new_parents.values())
         # Deduplicate the nodes of this class as well.
         seen: dict[ENode, None] = {}
         for node in eclass.nodes:
             seen.setdefault(node.canonicalize(self.find), None)
+        self._num_nodes -= len(eclass.nodes) - len(seen)
         eclass.nodes = list(seen.keys())
 
     # -- analyses --------------------------------------------------------------
@@ -216,10 +365,23 @@ class EGraph:
         return self.find(identifier) if identifier is not None else None
 
     def sanity_check(self) -> None:
-        """Verify hashcons / class invariants (used by the tests)."""
+        """Verify hashcons / class / counter / index invariants (used by the tests)."""
         for enode, identifier in self._hashcons.items():
             canonical = enode.canonicalize(self.find)
             if canonical != enode:
                 raise OptimizationError("hashcons contains a non-canonical node")
             if self.find(identifier) not in self._classes:
                 raise OptimizationError("hashcons points to a dead class")
+        for identifier, eclass in self._classes.items():
+            if self.find(identifier) != identifier:
+                raise OptimizationError("non-canonical class survived a union")
+        recount = sum(len(eclass.nodes) for eclass in self._classes.values())
+        if recount != self._num_nodes:
+            raise OptimizationError(
+                f"node counter drifted: counted {self._num_nodes}, found {recount}")
+        for identifier, eclass in self._classes.items():
+            for enode in eclass.nodes:
+                bucket = self._label_index.get(enode.label, {})
+                if not any(self.find(entry) == identifier for entry in bucket):
+                    raise OptimizationError(
+                        f"operator index is missing class {identifier} for {enode.label!r}")

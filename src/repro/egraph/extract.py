@@ -19,6 +19,7 @@ here remain useful building blocks and sanity oracles.
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Callable, Sequence
 
 from ..sdqlite.ast import Expr
@@ -36,29 +37,49 @@ def ast_size_cost(enode: ENode, child_costs: Sequence[float]) -> float:
 
 
 class Extractor:
-    """Bottom-up fixpoint extraction with a pluggable per-node cost function."""
+    """Bottom-up extraction with a pluggable per-node cost function.
+
+    The solver is worklist-driven: when a class's best cost improves, only
+    the e-nodes that have it as a child are re-evaluated (found through the
+    class's parent edges) instead of sweeping the whole graph to a fixpoint.
+    The cost function must be monotone in the child costs — cheaper children
+    may never make a node more expensive — which every size/penalty-style
+    cost satisfies.  Built terms are memoized per class.
+    """
 
     def __init__(self, egraph: EGraph, cost_function: NodeCost = ast_size_cost):
         self.egraph = egraph
         self.cost_function = cost_function
         self._best: dict[int, tuple[float, ENode]] = {}
+        self._built: dict[int, Expr] = {}
         self._solve()
 
     def _solve(self) -> None:
-        changed = True
-        # Fixpoint iteration: cyclic classes simply never improve past infinity
-        # unless they have an acyclic member, which is exactly what we want.
-        while changed:
-            changed = False
-            for eclass in self.egraph.classes():
-                for enode in eclass.nodes:
-                    cost = self._node_cost(enode)
-                    if cost is None:
-                        continue
-                    current = self._best.get(eclass.identifier)
-                    if current is None or cost < current[0] - 1e-12:
-                        self._best[eclass.identifier] = (cost, enode)
-                        changed = True
+        egraph = self.egraph
+        queue: deque[int] = deque()
+        # Seed: evaluate every node once; nodes whose children have no cost
+        # yet are revisited through the parent edges of those children.
+        for eclass in list(egraph.classes()):
+            for enode in eclass.nodes:
+                cost = self._node_cost(enode)
+                if cost is not None:
+                    self._offer(eclass.identifier, cost, enode, queue)
+        # Propagate improvements upwards.  Cyclic classes without an acyclic
+        # member are simply never reached, which is exactly what we want.
+        while queue:
+            identifier = queue.popleft()
+            for parent_node, parent_class in egraph[identifier].parents:
+                cost = self._node_cost(parent_node)
+                if cost is not None:
+                    self._offer(parent_class, cost, parent_node, queue)
+
+    def _offer(self, identifier: int, cost: float, enode: ENode,
+               queue: deque[int]) -> None:
+        identifier = self.egraph.find(identifier)
+        current = self._best.get(identifier)
+        if current is None or cost < current[0] - 1e-12:
+            self._best[identifier] = (cost, enode)
+            queue.append(identifier)
 
     def _node_cost(self, enode: ENode) -> float | None:
         child_costs = []
@@ -83,6 +104,9 @@ class Extractor:
 
     def _build(self, identifier: int, on_stack: set[int]) -> Expr:
         identifier = self.egraph.find(identifier)
+        cached = self._built.get(identifier)
+        if cached is not None:
+            return cached
         best = self._best.get(identifier)
         if best is None:
             raise OptimizationError("extraction failed: class has no finite-cost term")
@@ -90,7 +114,9 @@ class Extractor:
             raise OptimizationError("extraction failed: cyclic best term")
         _, enode = best
         kids = [self._build(child, on_stack | {identifier}) for child in enode.children]
-        return label_to_ast(enode.label, kids)
+        expr = label_to_ast(enode.label, kids)
+        self._built[identifier] = expr
+        return expr
 
 
 def extract_smallest(egraph: EGraph, identifier: int) -> Expr:

@@ -9,18 +9,25 @@ source text such as ``"?a * (?b + ?c)"``).
 Matching a pattern against an e-class yields substitutions mapping pattern
 variable names to e-class ids; a pattern can also be *instantiated* under a
 substitution, adding the corresponding nodes to the e-graph.
+
+Matching is generator-based throughout: :meth:`Pattern.search_iter` yields
+``(class id, substitution)`` pairs lazily so a caller with a match budget
+stops the search early instead of materializing (and then truncating) every
+match, and it accepts an explicit candidate-class list so the runner can
+probe only classes the operator index and the dirty set nominate.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..sdqlite.ast import Expr, Var, children
 from ..sdqlite.errors import OptimizationError
 from ..sdqlite.parser import parse_expr
 from .egraph import EGraph
-from .language import ENode, ast_to_label, label_to_ast
+from .language import ENode, Label, ast_to_label, label_to_ast
 
 Subst = dict[str, int]
 
@@ -48,12 +55,46 @@ class Pattern:
         self.root = _compile(template)
         self.variables = sorted(_collect_variables(self.root))
 
+    @property
+    def root_label(self) -> Label | None:
+        """The operator label a matching class must contain, or ``None`` when
+        the pattern root is a variable (every class is a candidate)."""
+        return self.root.label
+
     def search_class(self, egraph: EGraph, identifier: int) -> list[Subst]:
         """All substitutions under which this pattern matches the given e-class."""
         return list(_match_class(egraph, self.root, egraph.find(identifier), {}))
 
+    def search_iter(self, egraph: EGraph,
+                    candidates: Iterable[int] | None = None, *,
+                    use_index: bool = True) -> Iterator[tuple[int, Subst]]:
+        """Lazily yield ``(class id, substitution)`` matches.
+
+        ``candidates`` restricts the search to the given class ids (they are
+        canonicalized and deduplicated here); ``None`` probes the e-graph's
+        operator index for the pattern's root label — or scans every class
+        when the root is a variable or ``use_index`` is False (the textbook
+        full rescan, kept for the before/after benchmark).
+        """
+        find = egraph.find
+        if candidates is None:
+            if use_index and self.root.label is not None:
+                identifiers = egraph.classes_with_label(self.root.label)
+            else:
+                identifiers = [eclass.identifier for eclass in list(egraph.classes())]
+        else:
+            identifiers = list(dict.fromkeys(find(identifier) for identifier in candidates))
+        for identifier in identifiers:
+            canonical = find(identifier)
+            for subst in _match_class(egraph, self.root, canonical, {}):
+                yield canonical, subst
+
     def search(self, egraph: EGraph) -> list[tuple[int, Subst]]:
-        """All (class id, substitution) pairs where the pattern matches."""
+        """All (class id, substitution) pairs where the pattern matches.
+
+        Scans every class (no index probe) — kept as the reference
+        implementation; the runner uses :meth:`search_iter`.
+        """
         matches: list[tuple[int, Subst]] = []
         for eclass in list(egraph.classes()):
             for subst in self.search_class(egraph, eclass.identifier):
@@ -68,6 +109,14 @@ class Pattern:
         return f"Pattern({self.template})"
 
 
+#: Token-initial pattern-variable / De Bruijn markers.  A marker only counts
+#: when it is *not* glued to the tail of an identifier or number, so symbol
+#: text containing ``?`` or ``%`` mid-token is left alone (and rejected by the
+#: tokenizer) instead of being silently rewritten.
+_PVAR_RE = re.compile(r"(?<![A-Za-z0-9_])\?([A-Za-z_][A-Za-z0-9_]*)")
+_IDX_RE = re.compile(r"(?<![A-Za-z0-9_])%(\d+)")
+
+
 def parse_pattern(source: str) -> Expr:
     """Parse pattern source text; ``?x`` identifiers become pattern variables.
 
@@ -76,8 +125,14 @@ def parse_pattern(source: str) -> Expr:
     keep patterns unambiguous no named binders are allowed.
     """
     # The SDQLite tokenizer has no '?' token, so encode pattern variables as a
-    # reserved symbol prefix before parsing and decode afterwards.
-    encoded = source.replace("?", "__pvar_").replace("%", "__idx_")
+    # reserved symbol prefix before parsing and decode afterwards.  Only
+    # token-initial markers are encoded; any other use of '?' or '%' reaches
+    # the tokenizer verbatim and raises a ParseError there.
+    if "__pvar_" in source or "__idx_" in source:
+        raise OptimizationError(
+            "pattern source may not contain the reserved prefixes '__pvar_'/'__idx_'")
+    encoded = _PVAR_RE.sub(r"__pvar_\1", source)
+    encoded = _IDX_RE.sub(r"__idx_\1", encoded)
     expr = parse_expr(encoded)
     return _decode(expr)
 

@@ -18,12 +18,12 @@ Two kinds of rules exist, mirroring how the paper's optimizer is built on Egg
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..sdqlite.ast import Expr
 from ..sdqlite.debruijn import to_debruijn_safe
 from .egraph import EGraph
-from .language import ENode
+from .language import ENode, Label
 from .pattern import Pattern, Subst
 
 Condition = Callable[[EGraph, Subst], bool]
@@ -40,10 +40,20 @@ class Rewrite:
     dynamic: DynamicApplier | None = None
     conditions: tuple[Condition, ...] = ()
     bidirectional: bool = False
+    #: Per-rule override of the runner's ``match_limit_per_rule`` (and of the
+    #: backoff scheduler's initial ban threshold).  Expansive rules — e.g.
+    #: commutativity, whose match count grows with the whole graph — set a
+    #: lower budget so they cannot starve the selective rules.
+    match_limit: int | None = None
 
     def __post_init__(self) -> None:
         if (self.applier is None) == (self.dynamic is None):
             raise ValueError(f"rule {self.name}: exactly one of applier/dynamic is required")
+
+    @property
+    def root_label(self) -> Label | None:
+        """Label the operator index is probed with (None: variable root)."""
+        return self.searcher.root_label
 
     # -- construction helpers --------------------------------------------------
 
@@ -64,8 +74,24 @@ class Rewrite:
     def search(self, egraph: EGraph) -> list[tuple[int, Subst]]:
         return self.searcher.search(egraph)
 
-    def apply_match(self, egraph: EGraph, identifier: int, subst: Subst) -> bool:
-        """Apply the rule to one match; returns True when the e-graph changed."""
+    def search_iter(self, egraph: EGraph,
+                    candidates: Iterable[int] | None = None, *,
+                    use_index: bool = True) -> Iterator[tuple[int, Subst]]:
+        """Lazily yield matches, optionally restricted to candidate classes."""
+        return self.searcher.search_iter(egraph, candidates, use_index=use_index)
+
+    def apply_match(self, egraph: EGraph, identifier: int, subst: Subst,
+                    memo: dict | None = None) -> bool:
+        """Apply the rule to one match; returns True when the e-graph changed.
+
+        ``memo`` (optional, per saturation run) records dynamic applications
+        already performed.  Re-running a dynamic transform on the same e-node
+        with the same representative term and substitution is a guaranteed
+        no-op — the produced term is already in the graph and unioned — so
+        the incremental runner passes a memo to skip the recomputation.  The
+        key includes the representative term: when a class's best term
+        improves, the transform runs again, exactly as a full rescan would.
+        """
         for condition in self.conditions:
             if not condition(egraph, subst):
                 return False
@@ -77,18 +103,27 @@ class Rewrite:
         # Dynamic rule: rebuild a concrete term for the matched node and let
         # the applier produce a transformed term.
         changed = False
+        subst_key = None
+        if memo is not None:
+            subst_key = tuple(sorted((name, egraph.find(value))
+                                     for name, value in subst.items()))
         for enode in list(egraph[identifier].nodes):
             if enode.label != self.searcher.root.label:
                 continue
             matched_term = egraph.node_term(enode)
+            if memo is not None:
+                key = (id(self), enode, matched_term, subst_key)
+                if key in memo:
+                    continue
             produced = self.dynamic(egraph, enode, matched_term, dict(subst))
-            if produced is None:
-                continue
-            produced = to_debruijn_safe(produced)
-            new_id = egraph.add_expr(produced)
-            if egraph.find(new_id) != egraph.find(identifier):
-                egraph.union(identifier, new_id)
-                changed = True
+            if produced is not None:
+                produced = to_debruijn_safe(produced)
+                new_id = egraph.add_expr(produced)
+                if egraph.find(new_id) != egraph.find(identifier):
+                    egraph.union(identifier, new_id)
+                    changed = True
+            if memo is not None:
+                memo[key] = True
         return changed
 
     def __repr__(self) -> str:

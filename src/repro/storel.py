@@ -71,15 +71,18 @@ def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "gree
 
 
 def run(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
-        backend: str = "compile", dense_shape: tuple[int, ...] | None = None) -> Any:
+        backend: str = "compile", dense_shape: tuple[int, ...] | None = None,
+        optimizer_options: Mapping[str, Any] | None = None) -> Any:
     """Optimize and execute ``program`` over ``catalog``; return just the value.
 
     ``backend`` selects the execution backend — ``"compile"`` (default),
-    ``"interpret"`` or ``"vectorize"``; see :func:`run_detailed` for all
-    parameters.
+    ``"interpret"`` or ``"vectorize"``; ``optimizer_options`` forwards
+    optimizer/engine knobs (limits, ``scheduler``, ``indexed``,
+    ``incremental``); see :func:`run_detailed` for all parameters.
     """
     return run_detailed(program, catalog, method=method, backend=backend,
-                        dense_shape=dense_shape).result
+                        dense_shape=dense_shape,
+                        optimizer_options=optimizer_options).result
 
 
 def explain(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",

@@ -262,3 +262,229 @@ def test_extract_raises_on_unknown_class():
     egraph.add_expr(db("x"))
     with pytest.raises((KeyError, IndexError)):
         egraph[99]
+
+
+# ---------------------------------------------------------------------------
+# maintained counters, operator index, dirty tracking
+# ---------------------------------------------------------------------------
+
+
+def _recount(egraph):
+    classes = list(egraph.classes())
+    return sum(len(c.nodes) for c in classes), len(classes)
+
+
+def test_counters_match_recount_through_unions_and_rebuilds():
+    egraph = EGraph()
+    a = egraph.add_expr(db("(a + b) * (a + b)"))
+    b = egraph.add_expr(db("c * 1 + a * b"))
+    assert (egraph.num_nodes, egraph.num_classes) == _recount(egraph)
+    egraph.union(a, b)
+    egraph.rebuild()
+    assert (egraph.num_nodes, egraph.num_classes) == _recount(egraph)
+    egraph.union(egraph.add_expr(db("a")), egraph.add_expr(db("b")))
+    egraph.rebuild()  # congruence merges a+b nodes and dedups
+    assert (egraph.num_nodes, egraph.num_classes) == _recount(egraph)
+    egraph.sanity_check()
+
+
+def test_operator_index_finds_label_classes():
+    egraph = EGraph()
+    egraph.add_expr(db("x * (y + z)"))
+    mul_classes = egraph.classes_with_label(("mul",))
+    add_classes = egraph.classes_with_label(("add",))
+    assert len(mul_classes) == 1 and len(add_classes) == 1
+    assert egraph.classes_with_label(("sub",)) == []
+    # After a union the index entry resolves to the surviving class.
+    a = egraph.add_expr(db("a * b"))
+    other = egraph.add_expr(db("q"))
+    egraph.union(a, other)
+    egraph.rebuild()
+    resolved = egraph.classes_with_label(("mul",))
+    assert egraph.find(a) in resolved
+    egraph.sanity_check()
+
+
+def test_take_dirty_reports_new_and_unioned_classes():
+    egraph = EGraph()
+    root = egraph.add_expr(db("x + y"))
+    dirty = egraph.take_dirty()
+    assert egraph.find(root) in dirty
+    assert egraph.take_dirty() == []  # drained
+    a = egraph.add_expr(db("x"))
+    egraph.take_dirty()
+    b = egraph.add_expr(db("y"))
+    egraph.union(a, b)
+    dirty = egraph.take_dirty()
+    assert egraph.find(a) in dirty
+
+
+def test_ancestors_closure_reaches_match_roots():
+    egraph = EGraph()
+    root = egraph.add_expr(db("(x + y) * z"))
+    inner = egraph.add_expr(db("x"))
+    closure = egraph.ancestors_closure([inner])
+    # x -> x + y -> (x + y) * z
+    assert egraph.find(root) in closure
+    assert len(closure) >= 3
+
+
+# ---------------------------------------------------------------------------
+# schedulers and incremental search
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_scheduler_bans_exploding_rule():
+    from repro.egraph import BackoffScheduler
+
+    rules = simple_rules()
+    scheduler = BackoffScheduler(rules, match_limit=10, ban_length=2)
+    assert scheduler.allow(0, 1)
+    assert scheduler.record(0, 1, 11) is True          # exploded -> banned
+    assert not scheduler.allow(0, 2)
+    assert not scheduler.allow(0, 3)
+    assert scheduler.allow(0, 4)                       # ban expired
+    assert scheduler.record(0, 4, 15) is False         # threshold doubled to 20
+
+
+def test_banned_iteration_does_not_report_saturated():
+    # One explosive rule; with a tiny budget it gets banned immediately, and
+    # the iteration it sits out must not count as saturation.
+    egraph = EGraph()
+    egraph.add_expr(db("a * (b + c) * (d + e)"))
+    rules = simple_rules()
+    report = Runner(egraph, rules, iter_limit=3, match_limit_per_rule=2,
+                    scheduler="backoff", ban_length=5).run()
+    banned_iters = [it for it in report.per_iteration if it.banned]
+    assert banned_iters, "expected at least one iteration with banned rules"
+    for stats in banned_iters:
+        assert report.stop_reason != "saturated" or stats.index != report.iterations
+
+
+def test_backoff_rebans_persistently_explosive_rule():
+    # After a ban the threshold doubles; the runner's collection cap must
+    # follow it so a rule that keeps exploding keeps getting (longer) bans.
+    from repro.egraph import Rewrite
+
+    egraph = EGraph()
+    egraph.add_expr(db("a * (b + c) * (d + e) * (f + g) * (h + i)"))
+    rules = simple_rules()
+    report = Runner(egraph, rules, iter_limit=30, node_limit=100_000,
+                    match_limit_per_rule=2, scheduler="backoff", ban_length=1).run()
+    assert max(stats.bans for stats in report.rule_stats.values()) >= 2
+
+
+def test_runner_rejects_unknown_scheduler_name():
+    egraph = EGraph()
+    egraph.add_expr(db("a * b"))
+    with pytest.raises(ValueError):
+        Runner(egraph, simple_rules(), scheduler="back-off")
+
+
+def test_indexed_false_scans_without_probing_index(monkeypatch):
+    # The naive configuration must not benefit from the operator index.
+    egraph = EGraph()
+    left = egraph.add_expr(db("a * (b + c)"))
+    right = egraph.add_expr(db("c * a + b * a"))
+    probes = []
+    original = EGraph.classes_with_label
+
+    def counting(self, label):
+        probes.append(label)
+        return original(self, label)
+
+    monkeypatch.setattr(EGraph, "classes_with_label", counting)
+    Runner(egraph, simple_rules(), iter_limit=10, scheduler="simple",
+           indexed=False, incremental=False).run()
+    assert probes == []
+    assert egraph.equivalent(left, right)
+
+
+def test_incremental_engine_matches_naive_equalities():
+    # The incremental/indexed engine must prove the same equalities as the
+    # naive full rescan when nothing truncates.
+    for flags in ({"indexed": True, "incremental": True},
+                  {"indexed": True, "incremental": False},
+                  {"indexed": False, "incremental": True}):
+        egraph = EGraph()
+        left = egraph.add_expr(db("a * (b + c)"))
+        right = egraph.add_expr(db("c * a + b * a"))
+        report = Runner(egraph, simple_rules(), iter_limit=10,
+                        scheduler="simple", **flags).run()
+        assert egraph.equivalent(left, right), flags
+        egraph.sanity_check()
+
+
+def test_runner_reports_rule_and_iteration_timings():
+    egraph = EGraph()
+    egraph.add_expr(db("a * (b + c)"))
+    report = Runner(egraph, simple_rules(), iter_limit=4).run()
+    assert set(report.rule_stats) == {rule.name for rule in simple_rules()}
+    assert any(stats.matches > 0 for stats in report.rule_stats.values())
+    total_rule_ms = sum(s.search_ms + s.apply_ms for s in report.rule_stats.values())
+    assert total_rule_ms >= 0.0
+    for iteration in report.per_iteration:
+        assert iteration.search_ms >= 0.0 and iteration.apply_ms >= 0.0
+        assert iteration.rebuild_ms >= 0.0
+
+
+def test_match_limit_stops_collection_early():
+    egraph = EGraph()
+    egraph.add_expr(db("a * (b + c) * (d + e) * (f + g)"))
+    report = Runner(egraph, simple_rules(), iter_limit=2,
+                    match_limit_per_rule=3, scheduler="simple").run()
+    # Collection stops at the budget (+1 sentinel for explosion detection),
+    # so no iteration reports more matches than rules x (limit + 1).
+    for iteration in report.per_iteration:
+        assert iteration.matches <= len(simple_rules()) * 4
+
+
+def test_per_rule_match_limit_overrides_global():
+    from repro.egraph import Rewrite
+
+    rule = Rewrite.syntactic("mul-comm-budget", "?a * ?b", "?b * ?a")
+    rule.match_limit = 1
+    egraph = EGraph()
+    egraph.add_expr(db("a * b + c * d"))
+    report = Runner(egraph, [rule], iter_limit=1, match_limit_per_rule=100).run()
+    # Two mul classes match, but the per-rule budget of 1 caps application
+    # (collection stops at budget + 1, the explosion sentinel).
+    assert report.per_iteration[0].applied == 1
+    assert report.per_iteration[0].matches <= 2
+
+
+# ---------------------------------------------------------------------------
+# pattern parsing regressions (token-initial ? and % markers only)
+# ---------------------------------------------------------------------------
+
+
+def test_parse_pattern_rejects_mid_token_markers():
+    from repro.sdqlite.errors import OptimizationError, ParseError
+
+    # Before the token-initial fix these were silently mangled into symbols
+    # like "a__pvar_b"; now the un-encoded marker reaches the tokenizer.
+    for source in ("a?b + 1", "?a + b_50%", "x % 2"):
+        with pytest.raises(ParseError):
+            parse_pattern(source)
+    with pytest.raises(OptimizationError):
+        parse_pattern("__pvar_x + 1")
+
+
+def test_parse_pattern_accepts_adjacent_punctuation():
+    expr = parse_pattern("(?lo:?hi)(?k)")
+    pattern = Pattern(expr)
+    assert pattern.variables == ["?hi", "?k", "?lo"]
+    expr = parse_pattern("{ ?k -> ?v }(?k)")
+    assert Pattern(expr).variables == ["?k", "?v"]
+
+
+def test_search_iter_restricts_to_candidates():
+    egraph = EGraph()
+    first = egraph.add_expr(db("x * y"))
+    second = egraph.add_expr(db("a * b"))
+    pattern = Pattern("?a * ?b")
+    all_matches = list(pattern.search_iter(egraph))
+    assert {egraph.find(i) for i, _ in all_matches} == \
+        {egraph.find(first), egraph.find(second)}
+    only_first = list(pattern.search_iter(egraph, [first]))
+    assert {egraph.find(i) for i, _ in only_first} == {egraph.find(first)}

@@ -1,0 +1,120 @@
+"""Randomized e-graph invariant tests.
+
+Hundreds of seeded random ``add_expr`` / ``union`` / ``rebuild`` sequences
+must keep every structural invariant green: the hashcons canonical, the
+maintained node/class counters exact, the operator index complete, and the
+congruence relation closed (two canonical nodes that are equal must live in
+the same class).  This guards the deferred-rebuild worklist and the
+append-only index against regressions that only show up on unlucky
+interleavings.
+"""
+
+import random
+
+import pytest
+
+from repro.egraph import EGraph
+from repro.sdqlite.ast import Add, Const, Mul, Sum, Sym
+
+
+def random_expr(rng: random.Random, depth: int):
+    """A small random expression over a fixed symbol pool."""
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return Sym(rng.choice("abcde"))
+        return Const(rng.choice([0, 1, 2, 3]))
+    shape = rng.random()
+    if shape < 0.45:
+        return Add(random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+    if shape < 0.9:
+        return Mul(random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+    return Sum(random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+
+
+def check_congruence_closed(egraph: EGraph) -> None:
+    """After a rebuild, congruence must be closed: canonicalizing every node
+    of every class maps equal nodes to the same class."""
+    seen = {}
+    for eclass in egraph.classes():
+        for enode in eclass.nodes:
+            canonical = enode.canonicalize(egraph.find)
+            owner = seen.setdefault(canonical, eclass.identifier)
+            assert owner == eclass.identifier, \
+                f"congruence violated: {canonical} in classes {owner} and {eclass.identifier}"
+
+
+def check_counters(egraph: EGraph) -> None:
+    classes = list(egraph.classes())
+    assert egraph.num_classes == len(classes)
+    assert egraph.num_nodes == sum(len(c.nodes) for c in classes)
+
+
+@pytest.mark.parametrize("seed", range(200))
+def test_random_sequences_keep_invariants(seed):
+    rng = random.Random(seed)
+    egraph = EGraph()
+    ids = []
+    for step in range(rng.randint(5, 25)):
+        action = rng.random()
+        if action < 0.55 or len(ids) < 2:
+            ids.append(egraph.add_expr(random_expr(rng, rng.randint(0, 3))))
+        elif action < 0.85:
+            egraph.union(rng.choice(ids), rng.choice(ids))
+        else:
+            egraph.rebuild()
+            egraph.sanity_check()
+            check_congruence_closed(egraph)
+            check_counters(egraph)
+    egraph.rebuild()
+    egraph.sanity_check()
+    check_congruence_closed(egraph)
+    check_counters(egraph)
+    # Dirty marks resolve to live classes.
+    for identifier in egraph.take_dirty():
+        assert egraph.find(identifier) == identifier
+        egraph[identifier]
+
+
+def test_repair_survives_losing_a_mid_repair_congruence_union():
+    """Regression: while repairing class X, a congruence union between two of
+    X's parents can merge X itself away (X is its own parent via a self-loop
+    and loses union-by-size).  The repair must stop instead of mutating —
+    and mis-counting the nodes of — the dead class."""
+    from repro.sdqlite.ast import Add, Mul, Sym
+
+    egraph = EGraph()
+    a = egraph.add_expr(Sym("a"))
+    egraph.union(egraph.add_expr(Add(Sym("a"), Sym("a"))), a)   # self-loop
+    b = egraph.add_expr(Sym("b"))
+    egraph.union(egraph.add_expr(Add(Sym("b"), Sym("b"))), b)   # self-loop
+    egraph.add_expr(Sym("c"))
+    ac = egraph.add_expr(Mul(Sym("a"), Sym("c")))
+    bc = egraph.add_expr(Mul(Sym("b"), Sym("c")))
+    egraph.union(bc, b)                  # b*c lives inside b's own class
+    for name in "defghij":               # make a*c's set win union-by-size
+        egraph.union(ac, egraph.add_expr(Sym(name)))
+    egraph.rebuild()
+    egraph.sanity_check()
+    egraph.union(a, b)                   # a*c and b*c become congruent
+    egraph.rebuild()
+    egraph.sanity_check()
+    check_congruence_closed(egraph)
+    check_counters(egraph)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_unions_preserve_reachable_best_terms(seed):
+    """Every class keeps a concrete best term (eager maintenance), and its
+    size never exceeds the size of any member node's assembled term."""
+    from repro.sdqlite.ast import node_count
+
+    rng = random.Random(seed + 1000)
+    egraph = EGraph()
+    ids = [egraph.add_expr(random_expr(rng, 3)) for _ in range(6)]
+    for _ in range(4):
+        egraph.union(rng.choice(ids), rng.choice(ids))
+    egraph.rebuild()
+    for eclass in egraph.classes():
+        term = egraph.best_term(eclass.identifier)
+        assert term is not None
+        assert node_count(term) == eclass.best_size
