@@ -15,6 +15,9 @@ It provides:
   (``interpret`` / ``compile`` / ``vectorize``) plus the prepared-plan LRU
   cache; every API that executes plans takes a ``backend=`` parameter
   accepting exactly those three values (see ``docs/backends.md``),
+* :mod:`repro.advisor` — the workload-driven storage format advisor
+  (searches candidate storage configurations with the cost model and
+  returns recommendations sessions apply in place — see ``docs/advisor.md``),
 * :mod:`repro.kernels`, :mod:`repro.baselines`, :mod:`repro.data`,
   :mod:`repro.workloads` — the evaluation substrate (tensor programs,
   competitor systems, datasets, experiment harness).

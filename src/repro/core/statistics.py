@@ -110,6 +110,34 @@ class Statistics:
         self.scalar_values.pop(name, None)
         self.kinds.pop(name, None)
 
+    # -- per-configuration ("what if") estimates ------------------------------
+
+    def with_formats(self, swaps) -> "Statistics":
+        """A copy of these statistics with some tensors' storage formats swapped.
+
+        ``swaps`` is an iterable of ``(current_format, candidate_format)``
+        pairs for the same logical tensors.  The copy is what the statistics
+        *would* look like if each tensor were re-stored in its candidate
+        format — the workload-driven advisor (:mod:`repro.advisor`) costs one
+        candidate storage configuration per call this way, without touching
+        the catalog.  Expressed in terms of :meth:`remove_format` /
+        :meth:`apply_format`, so hypothetical and real re-formats cannot
+        drift apart.
+        """
+        copy = Statistics(
+            profiles=dict(self.profiles),
+            kinds=dict(self.kinds),
+            scalar_values=dict(self.scalar_values),
+            segments=dict(self.segments),
+            selectivity=self.selectivity,
+            default_dimension=self.default_dimension,
+            default_segment=self.default_segment,
+        )
+        for current, candidate in swaps:
+            copy.remove_format(current)
+            copy.apply_format(candidate)
+        return copy
+
     # -- queries --------------------------------------------------------------
 
     def profile(self, name: str) -> Card | None:

@@ -233,6 +233,57 @@ class Session:
             self._stats_version = self.catalog.version
         return self
 
+    def apply_recommendation(self, recommendation) -> "Session":
+        """Re-store tensors as a :class:`repro.advisor.Recommendation` advises.
+
+        Every tensor whose recommended format differs from its current one
+        is converted in place via :func:`repro.storage.convert.reformat` and
+        swapped with :meth:`replace_format` — so the catalog epochs bump,
+        statistics are patched incrementally, and live prepared statements
+        transparently re-prepare on their next execution.  Tensors already
+        stored as recommended are left untouched (no epoch bump).
+
+        Example (see ``docs/advisor.md``)::
+
+            recommendation = storel.advise(programs, session.catalog)
+            session.apply_recommendation(recommendation)
+        """
+        from .storage.convert import reformat
+
+        for name, kind in recommendation.formats.items():
+            current = self.catalog.tensors.get(name)
+            if current is None:
+                raise StorageError(
+                    f"recommendation names {name!r}, which is not a registered tensor")
+            if current.format_name != kind:
+                self.replace_format(reformat(current, kind))
+        return self
+
+    def advise(self, programs, **kwargs):
+        """Run the workload-driven format advisor over this session's catalog.
+
+        Thin wrapper over :class:`repro.advisor.Advisor`; keyword arguments
+        are split between the advisor's constructor knobs (``method``,
+        ``backend``, ``beam_width``, ``per_tensor_top``,
+        ``optimizer_options``) and :meth:`repro.advisor.Advisor.advise`
+        (``weights``, ``tensors``, ``include_special``, ``measure``,
+        ``top_k``, ``measure_repeats``).  Returns a
+        :class:`repro.advisor.Recommendation`; apply it with
+        :meth:`apply_recommendation`.
+        """
+        from .advisor import Advisor
+
+        constructor_keys = ("method", "backend", "beam_width", "per_tensor_top",
+                            "optimizer_options")
+        constructor = {key: kwargs.pop(key) for key in constructor_keys if key in kwargs}
+        constructor.setdefault("method", self.method)
+        # The advisor must cost plans under the same optimizer configuration
+        # this session executes with; explicit options override per key.
+        options = dict(self.optimizer_options)
+        options.update(constructor.get("optimizer_options") or {})
+        constructor["optimizer_options"] = options
+        return Advisor(self, **constructor).advise(programs, **kwargs)
+
     # -- derived state, kept in sync with the catalog epochs ------------------
 
     def statistics(self) -> Statistics:

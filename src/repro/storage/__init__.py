@@ -1,6 +1,13 @@
 """Physical data model, flexible storage formats, and Tensor Storage Mappings."""
 
 from .catalog import Catalog
+from .convert import (
+    ALL_FORMATS,
+    candidate_formats,
+    coo_arrays,
+    reformat,
+    reformat_in_catalog,
+)
 from .formats import (
     COOFormat,
     CSCFormat,
@@ -11,8 +18,10 @@ from .formats import (
     DOKFormat,
     FORMATS,
     StorageFormat,
+    TensorStats,
     TrieFormat,
     build_format,
+    sum_duplicates,
 )
 from .physical import (
     KIND_ARRAY,
@@ -25,12 +34,20 @@ from .physical import (
     PhysicalTrie,
     collection_kind,
 )
-from .special import BandFormat, LowerTriangularFormat, ZOrderFormat, morton_index
+from .special import (
+    SPECIAL_FORMATS,
+    BandFormat,
+    LowerTriangularFormat,
+    ZOrderFormat,
+    morton_index,
+)
 
 __all__ = [
     "Catalog",
     "COOFormat", "CSCFormat", "CSFFormat", "CSRFormat", "DCSRFormat", "DenseFormat",
-    "DOKFormat", "FORMATS", "StorageFormat", "TrieFormat", "build_format",
+    "DOKFormat", "FORMATS", "StorageFormat", "TensorStats", "TrieFormat", "build_format",
+    "sum_duplicates", "ALL_FORMATS", "SPECIAL_FORMATS",
+    "candidate_formats", "coo_arrays", "reformat", "reformat_in_catalog",
     "KIND_ARRAY", "KIND_HASH", "KIND_SCALAR", "KIND_TRIE",
     "PhysicalArray", "PhysicalHashMap", "PhysicalScalar", "PhysicalTrie", "collection_kind",
     "BandFormat", "LowerTriangularFormat", "ZOrderFormat", "morton_index",

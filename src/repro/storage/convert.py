@@ -1,34 +1,85 @@
-"""Conversions between the repro storage formats, NumPy, and SciPy sparse.
+"""Conversions between storage formats, NumPy, SciPy — and in-catalog re-formats.
 
-These are used by the baselines (SciPy / NumPy execute the same data) and by
-the dataset loaders, which generate data once and hand it to every system in
-the same benchmark run.
+Two layers live here:
+
+* **Interchange** (:func:`from_scipy`, :func:`to_scipy_csr`,
+  :func:`to_scipy_csc`, :func:`to_dense_vector`, :func:`coo_arrays`,
+  :func:`as_relation`): used by the baseline systems (SciPy / NumPy / the
+  relational baseline execute the same data) and by the dataset loaders,
+  which generate data once and hand it to every system in the same benchmark
+  run.
+* **Re-formatting** (:func:`reformat`, :func:`reformat_in_catalog`,
+  :func:`candidate_formats`): re-store a tensor in another format while
+  keeping its logical name and contents — the mechanics behind the paper's
+  central claim (Sec. 4) that storage is a *choice*, and the executor of the
+  workload-driven advisor's recommendations (:mod:`repro.advisor`, which
+  calls :func:`reformat` through
+  :meth:`repro.session.Session.apply_recommendation`).
+
+All conversions go through coordinate form (:func:`coo_arrays`), so the
+sum-duplicates semantics documented in :func:`repro.storage.formats.sum_duplicates`
+hold uniformly.  Example::
+
+    >>> import numpy as np
+    >>> from repro.storage import CSRFormat
+    >>> from repro.storage.convert import reformat
+    >>> csr = CSRFormat.from_dense("A", np.eye(3))
+    >>> reformat(csr, "trie").format_name
+    'trie'
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
+
+try:  # SciPy is optional: only the interchange helpers below need it.
+    import scipy.sparse as sp
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    sp = None
 
 from ..sdqlite.errors import StorageError
-from .formats import COOFormat, CSCFormat, CSRFormat, DenseFormat, StorageFormat, build_format
+from .formats import (
+    COOFormat,
+    CSCFormat,
+    CSRFormat,
+    DenseFormat,
+    FORMATS,
+    StorageFormat,
+    TensorStats,
+    build_format,
+)
+from .special import SPECIAL_FORMATS
+
+#: Every named storage format: the general-purpose menu of ``formats.py``
+#: plus the Sec. 4 special formats.  This is the advisor's search alphabet.
+ALL_FORMATS: dict[str, type[StorageFormat]] = {**FORMATS, **SPECIAL_FORMATS}
 
 
-def from_scipy(kind: str, name: str, matrix: sp.spmatrix) -> StorageFormat:
-    """Build a storage format from any SciPy sparse matrix."""
+def _require_scipy() -> None:
+    if sp is None:
+        raise StorageError("this conversion requires scipy, which is not installed")
+
+
+def from_scipy(kind: str, name: str, matrix) -> StorageFormat:
+    """Build a storage format from any SciPy sparse matrix.
+
+    ``kind`` names one of the repro formats (``"csr"``, ``"trie"``, ...);
+    the SciPy matrix is read out in COO form, so duplicate entries are summed
+    exactly as SciPy itself would on ``sum_duplicates()``.
+    """
+    _require_scipy()
     coo = matrix.tocoo()
     coords = np.stack([coo.row, coo.col], axis=1)
-    from .formats import FORMATS
-
     try:
-        cls = FORMATS[kind]
+        cls = ALL_FORMATS[kind]
     except KeyError as exc:
         raise StorageError(f"unknown storage format {kind!r}") from exc
     return cls.from_coo(name, coords, coo.data, coo.shape)
 
 
-def to_scipy_csr(fmt: StorageFormat) -> sp.csr_matrix:
-    """Convert a rank-2 format to a SciPy CSR matrix."""
+def to_scipy_csr(fmt: StorageFormat):
+    """Convert a rank-2 format to a SciPy CSR matrix (zero-copy when already CSR)."""
+    _require_scipy()
     if len(fmt.shape) != 2:
         raise StorageError("to_scipy_csr requires a rank-2 tensor")
     if isinstance(fmt, CSRFormat) and not isinstance(fmt, CSCFormat):
@@ -36,8 +87,9 @@ def to_scipy_csr(fmt: StorageFormat) -> sp.csr_matrix:
     return sp.csr_matrix(fmt.to_dense())
 
 
-def to_scipy_csc(fmt: StorageFormat) -> sp.csc_matrix:
+def to_scipy_csc(fmt: StorageFormat):
     """Convert a rank-2 format to a SciPy CSC matrix."""
+    _require_scipy()
     if len(fmt.shape) != 2:
         raise StorageError("to_scipy_csc requires a rank-2 tensor")
     return sp.csc_matrix(fmt.to_dense()) if fmt.nnz else sp.csc_matrix(fmt.shape)
@@ -51,7 +103,13 @@ def to_dense_vector(fmt: StorageFormat) -> np.ndarray:
 
 
 def coo_arrays(fmt: StorageFormat) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(coords, values)`` for any format (via a COO round-trip)."""
+    """Return ``(coords, values)`` for any format (via a COO round-trip).
+
+    The canonical interchange representation: every re-format and baseline
+    conversion goes through here, so a tensor's contents survive any chain of
+    format changes bit-for-bit (coordinates come out sorted row-major,
+    explicit zeros dropped).
+    """
     if isinstance(fmt, COOFormat):
         return fmt.coords.copy(), fmt.values.copy()
     dense = fmt.to_dense()
@@ -77,6 +135,74 @@ def densify(fmt: StorageFormat) -> DenseFormat:
     return DenseFormat(fmt.name, fmt.to_dense())
 
 
+def reformat(fmt: StorageFormat, kind: str) -> StorageFormat:
+    """Re-store a tensor in the format named ``kind``, keeping name and contents.
+
+    Accepts every format name in :data:`ALL_FORMATS` (the general-purpose
+    formats *and* the Sec. 4 special formats — the special constructors
+    validate their structural preconditions and raise
+    :class:`~repro.sdqlite.errors.StorageError` when the data does not fit).
+    Returns ``fmt`` itself when it already has that format, so callers can
+    use ``reformat(fmt, kind) is fmt`` as a no-op check.
+
+    >>> import numpy as np
+    >>> from repro.storage import TrieFormat
+    >>> trie = TrieFormat.from_dense("A", np.tril(np.ones((4, 4))))
+    >>> reformat(trie, "lower_triangular").format_name
+    'lower_triangular'
+    """
+    try:
+        cls = ALL_FORMATS[kind]
+    except KeyError as exc:
+        raise StorageError(f"unknown storage format {kind!r}") from exc
+    if fmt.format_name == kind:
+        return fmt
+    coords, values = coo_arrays(fmt)
+    return cls.from_coo(fmt.name, coords, values, fmt.shape)
+
+
+def reformat_in_catalog(catalog, name: str, kind: str) -> StorageFormat:
+    """Re-store tensor ``name`` inside ``catalog`` in the format named ``kind``.
+
+    This is the in-place re-format behind
+    :meth:`repro.session.Session.apply_recommendation`: the converted format
+    replaces the old one via :meth:`repro.storage.Catalog.replace`, which
+    bumps the catalog's schema epoch so sessions rebuild statistics and
+    prepared statements transparently re-prepare.  A no-op (tensor already
+    stored that way) leaves the catalog epochs untouched.
+    """
+    try:
+        fmt = catalog.tensors[name]
+    except KeyError as exc:
+        raise StorageError(f"cannot re-format {name!r}: not a registered tensor") from exc
+    converted = reformat(fmt, kind)
+    if converted is not fmt:
+        catalog.replace(converted)
+    return converted
+
+
+def candidate_formats(fmt: StorageFormat, *, include_special: bool = True,
+                      stats: TensorStats | None = None) -> list[str]:
+    """Names of every format that can legally store ``fmt``'s tensor.
+
+    Asks each registered format class :meth:`StorageFormat.candidates_for`
+    with a :class:`TensorStats` summary of the tensor (computed once here
+    unless passed in).  The tensor's *current* format is always included.
+    ``include_special=False`` restricts the answer to the general-purpose
+    menu of ``formats.py``.
+    """
+    stats = stats if stats is not None else TensorStats.of(fmt)
+    registry = ALL_FORMATS if include_special else FORMATS
+    names = [name for name, cls in registry.items() if cls.candidates_for(stats)]
+    if fmt.format_name not in names and fmt.format_name in registry:
+        names.append(fmt.format_name)
+    return names
+
+
 def restore(fmt: StorageFormat, kind: str) -> StorageFormat:
-    """Re-store a tensor in another format, keeping its name and contents."""
+    """Re-store a tensor in another format, keeping its name and contents.
+
+    Historical alias of :func:`reformat` restricted to the general-purpose
+    formats; prefer :func:`reformat`, which also accepts the special formats.
+    """
     return build_format(kind, fmt.name, fmt.to_dense())

@@ -21,11 +21,22 @@ from coordinate data (:meth:`from_coo`), and can reconstruct the dense tensor
 (:meth:`to_dense`) — the round-trip is heavily exercised by the test suite,
 together with the *semantic* round-trip: evaluating the storage mapping with
 the reference interpreter must reproduce the logical tensor.
+
+Duplicate coordinates passed to :meth:`from_coo` are **summed** (the COO
+convention of SciPy and the natural semiring semantics of SDQLite's ``sum``);
+every format coalesces duplicates at construction, so stored coordinates are
+always unique.  See ``docs/formats.md`` ("Duplicate-coordinate semantics").
+
+For the workload-driven format advisor (:mod:`repro.advisor`), every format
+answers :meth:`StorageFormat.candidates_for` — given a :class:`TensorStats`
+summary of a tensor, can this format legally store it?  The advisor
+enumerates exactly the formats that say yes.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Mapping, Sequence
 
@@ -53,6 +64,103 @@ def coo_from_dense(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return coords.astype(np.int64), np.asarray(values, dtype=np.float64)
 
 
+def sum_duplicates(coords: np.ndarray, values: np.ndarray,
+                   rank: int) -> tuple[np.ndarray, np.ndarray]:
+    """Coalesce duplicate coordinates by summing their values.
+
+    This is the repository-wide ``from_coo`` semantics (documented in
+    ``docs/formats.md``): duplicates sum, matching SciPy's COO convention and
+    the semiring addition of SDQLite's ``sum``.  Entries whose value is (or
+    sums to) zero are dropped — a stored zero is indistinguishable from an
+    absent entry in the semiring semantics, and dropping it uniformly keeps
+    ``nnz`` independent of the conversion path a tensor took.  The returned
+    coordinates are unique and sorted in row-major (lexicographic) order.
+    """
+    coords = np.asarray(coords, dtype=np.int64).reshape(-1, rank or 1)
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if coords.shape[0] == 0:
+        return coords, values
+    unique, inverse = np.unique(coords, axis=0, return_inverse=True)
+    if unique.shape[0] == coords.shape[0]:
+        # No duplicates: keep row-major order without re-scattering values.
+        order = np.lexsort(tuple(coords[:, axis] for axis in range(coords.shape[1] - 1, -1, -1)))
+        coords, values = coords[order], values[order]
+    else:
+        summed = np.zeros(unique.shape[0], dtype=np.float64)
+        np.add.at(summed, inverse.reshape(-1), values)
+        coords, values = unique, summed
+    nonzero = values != 0
+    if not np.all(nonzero):
+        coords, values = coords[nonzero], values[nonzero]
+    return coords, values
+
+
+@dataclass(frozen=True)
+class TensorStats:
+    """A structural summary of one stored tensor, for format legality checks.
+
+    This is the ``stats`` argument of :meth:`StorageFormat.candidates_for`:
+    enough information to decide whether a format *can* store the tensor
+    (rank, shape, structural predicates), plus the nnz/density the advisor's
+    cost estimates start from.  Built from any live format with
+    :meth:`TensorStats.of`.
+    """
+
+    shape: tuple[int, ...]
+    nnz: int
+    #: rank-2 structural predicates (all False for other ranks)
+    square: bool = False
+    lower_triangular: bool = False
+    tridiagonal: bool = False
+    pow2_square: bool = False
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def dense_cells(self) -> float:
+        return float(np.prod(self.shape)) if self.shape else 1.0
+
+    @property
+    def density(self) -> float:
+        total = self.dense_cells
+        return self.nnz / total if total else 0.0
+
+    #: Above this many dense cells the structural scan is skipped (the scan
+    #: goes through coordinate form, which may densify some formats).
+    STRUCTURE_SCAN_CELLS = 1 << 26
+
+    @classmethod
+    def of(cls, fmt: "StorageFormat") -> "TensorStats":
+        """Summarize a stored tensor (inspects the non-zero structure once).
+
+        The rank-2 structural predicates need the non-zero coordinates; they
+        are read in coordinate form (free for COO, one densify for other
+        formats).  Tensors larger than :data:`STRUCTURE_SCAN_CELLS` dense
+        cells skip the scan — the flags stay conservatively ``False``, which
+        only means the special formats are not offered as candidates.
+        """
+        shape = tuple(fmt.shape)
+        square = lower = tri = pow2 = False
+        if len(shape) == 2 and shape[0] == shape[1]:
+            square = True
+            n = shape[0]
+            pow2 = n > 0 and (n & (n - 1)) == 0
+            if float(n) * n <= cls.STRUCTURE_SCAN_CELLS:
+                from .convert import coo_arrays
+
+                coords, _ = coo_arrays(fmt)
+                if coords.size:
+                    i, j = coords[:, 0], coords[:, 1]
+                    lower = bool(np.all(j <= i))
+                    tri = bool(np.all(np.abs(i - j) <= 1))
+                else:
+                    lower = tri = True
+        return cls(shape=shape, nnz=int(fmt.nnz), square=square,
+                   lower_triangular=lower, tridiagonal=tri, pow2_square=pow2)
+
+
 class StorageFormat(ABC):
     """Base class of all storage formats."""
 
@@ -76,7 +184,22 @@ class StorageFormat(ABC):
     @abstractmethod
     def from_coo(cls, name: str, coords: np.ndarray, values: np.ndarray,
                  shape: Sequence[int], **kwargs) -> "StorageFormat":
-        """Build the format from coordinate data (``coords`` is nnz × rank)."""
+        """Build the format from coordinate data (``coords`` is nnz × rank).
+
+        Duplicate coordinates are summed (see :func:`sum_duplicates`).
+        """
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        """Can this format legally store a tensor with these statistics?
+
+        The workload-driven advisor (:mod:`repro.advisor`) enumerates
+        candidate storage configurations from exactly these answers; the base
+        class says no, every concrete format overrides with its own legality
+        rule (rank restrictions, and for the Sec. 4 special formats the
+        structural predicates of :class:`TensorStats`).
+        """
+        return False
 
     # -- required protocol ---------------------------------------------------
 
@@ -187,9 +310,14 @@ class DenseFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs) -> "DenseFormat":
         dense = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
-        for coordinate, value in zip(np.asarray(coords), np.asarray(values)):
+        coords, values = sum_duplicates(coords, values, len(dense.shape))
+        for coordinate, value in zip(coords, values):
             dense[tuple(int(c) for c in coordinate)] = value
         return cls(name, dense)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return 1 <= stats.rank <= 3
 
     @property
     def nnz(self) -> int:
@@ -238,14 +366,15 @@ class COOFormat(StorageFormat):
     def __init__(self, name: str, coords: np.ndarray, values: np.ndarray,
                  shape: Sequence[int]):
         super().__init__(name, tuple(shape))
-        coords = np.asarray(coords, dtype=np.int64).reshape(-1, self.rank or 1)
-        order = np.lexsort(tuple(coords[:, axis] for axis in range(coords.shape[1] - 1, -1, -1)))
-        self.coords = coords[order]
-        self.values = np.asarray(values, dtype=np.float64)[order]
+        self.coords, self.values = sum_duplicates(coords, values, self.rank)
 
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs) -> "COOFormat":
         return cls(name, coords, values, shape)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.rank >= 1
 
     @property
     def nnz(self) -> int:
@@ -302,8 +431,7 @@ class CSRFormat(StorageFormat):
         super().__init__(name, tuple(shape))
         if self.rank != 2:
             raise StorageError(f"{type(self).__name__} is a matrix format")
-        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 2)
-        values = np.asarray(values, dtype=np.float64)
+        coords, values = sum_duplicates(coords, values, 2)
         outer = coords[:, self._outer_axis]
         inner = coords[:, self._inner_axis]
         order = np.lexsort((inner, outer))
@@ -315,6 +443,10 @@ class CSRFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs):
         return cls(name, coords, values, shape)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.rank == 2
 
     @property
     def nnz(self) -> int:
@@ -392,12 +524,10 @@ class DCSRFormat(StorageFormat):
         super().__init__(name, tuple(shape))
         if self.rank != 2:
             raise StorageError("DCSRFormat is a matrix format")
-        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 2)
-        values = np.asarray(values, dtype=np.float64)
-        order = np.lexsort((coords[:, 1], coords[:, 0]))
-        rows = coords[order, 0]
-        self.idx2 = coords[order, 1]
-        self.val = values[order]
+        coords, values = sum_duplicates(coords, values, 2)
+        rows = coords[:, 0]
+        self.idx2 = coords[:, 1]
+        self.val = values
         self.idx1, counts = np.unique(rows, return_counts=True) if rows.size else (
             np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
         self.pos2 = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
@@ -406,6 +536,10 @@ class DCSRFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs):
         return cls(name, coords, values, shape)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.rank == 2
 
     @property
     def nnz(self) -> int:
@@ -463,11 +597,7 @@ class CSFFormat(StorageFormat):
         super().__init__(name, tuple(shape))
         if self.rank != 3:
             raise StorageError("CSFFormat stores rank-3 tensors")
-        coords = np.asarray(coords, dtype=np.int64).reshape(-1, 3)
-        values = np.asarray(values, dtype=np.float64)
-        order = np.lexsort((coords[:, 2], coords[:, 1], coords[:, 0]))
-        coords = coords[order]
-        values = values[order]
+        coords, values = sum_duplicates(coords, values, 3)
 
         idx1: list[int] = []
         pos2: list[int] = [0]
@@ -503,6 +633,10 @@ class CSFFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs):
         return cls(name, coords, values, shape)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.rank == 3
 
     @property
     def nnz(self) -> int:
@@ -574,9 +708,11 @@ class DOKFormat(StorageFormat):
 
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs):
-        entries = {tuple(int(c) for c in coordinate): float(v)
-                   for coordinate, v in zip(np.asarray(coords), np.asarray(values))}
-        return cls(name, entries, shape)
+        return cls(name, _entries_from_coo(coords, values, len(shape)), shape)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.rank >= 1
 
     @property
     def nnz(self) -> int:
@@ -618,9 +754,12 @@ class TrieFormat(StorageFormat):
 
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs):
-        entries = {tuple(int(c) for c in coordinate): float(v)
-                   for coordinate, v in zip(np.asarray(coords), np.asarray(values))}
-        return cls(name, entries, shape)
+        return cls(name, _entries_from_coo(coords, values, len(shape)), shape)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        # The trie mapping enumerates one hash level per dimension, rank <= 3.
+        return 1 <= stats.rank <= 3
 
     @property
     def nnz(self) -> int:
@@ -662,6 +801,14 @@ class TrieFormat(StorageFormat):
         for factor in reversed(counts):
             profile = (factor, profile)
         return profile
+
+
+def _entries_from_coo(coords: np.ndarray, values: np.ndarray,
+                      rank: int) -> dict[tuple[int, ...], float]:
+    """Tuple-keyed entries from coordinate data, duplicates summed."""
+    coords, values = sum_duplicates(coords, values, rank)
+    return {tuple(int(c) for c in coordinate): float(v)
+            for coordinate, v in zip(coords, values)}
 
 
 def _fill_dense_from_nested(dense: np.ndarray, nested: dict, prefix: tuple[int, ...]) -> None:

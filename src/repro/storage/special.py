@@ -13,7 +13,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..sdqlite.errors import StorageError
-from .formats import Profile, StorageFormat
+from .formats import Profile, StorageFormat, TensorStats, sum_duplicates
 
 
 class LowerTriangularFormat(StorageFormat):
@@ -45,9 +45,14 @@ class LowerTriangularFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs) -> "LowerTriangularFormat":
         dense = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
-        for coordinate, value in zip(np.asarray(coords), np.asarray(values)):
+        coords, values = sum_duplicates(coords, values, len(dense.shape))
+        for coordinate, value in zip(coords, values):
             dense[tuple(int(c) for c in coordinate)] = value
         return cls(name, dense)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.square and stats.lower_triangular
 
     @property
     def nnz(self) -> int:
@@ -110,9 +115,14 @@ class BandFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs) -> "BandFormat":
         dense = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
-        for coordinate, value in zip(np.asarray(coords), np.asarray(values)):
+        coords, values = sum_duplicates(coords, values, len(dense.shape))
+        for coordinate, value in zip(coords, values):
             dense[tuple(int(c) for c in coordinate)] = value
         return cls(name, dense)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.square and stats.tridiagonal
 
     @property
     def nnz(self) -> int:
@@ -185,9 +195,14 @@ class ZOrderFormat(StorageFormat):
     @classmethod
     def from_coo(cls, name, coords, values, shape, **kwargs) -> "ZOrderFormat":
         dense = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
-        for coordinate, value in zip(np.asarray(coords), np.asarray(values)):
+        coords, values = sum_duplicates(coords, values, len(dense.shape))
+        for coordinate, value in zip(coords, values):
             dense[tuple(int(c) for c in coordinate)] = value
         return cls(name, dense)
+
+    @classmethod
+    def candidates_for(cls, stats: TensorStats) -> bool:
+        return stats.pow2_square
 
     @property
     def nnz(self) -> int:
@@ -232,6 +247,15 @@ def _even_bits(d: int) -> int:
 def _odd_bits(d: int) -> int:
     """Extract bits 1, 3, 5, ... of ``d`` (the column of a Z-order position)."""
     return _even_bits(d >> 1)
+
+
+#: Registry of the Sec. 4 special formats by short name (the advisor and
+#: :func:`repro.storage.convert.reformat` enumerate ``FORMATS`` plus this).
+SPECIAL_FORMATS: dict[str, type[StorageFormat]] = {
+    "lower_triangular": LowerTriangularFormat,
+    "band": BandFormat,
+    "zorder": ZOrderFormat,
+}
 
 
 def morton_index(i: int, j: int) -> int:

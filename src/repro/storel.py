@@ -37,7 +37,7 @@ from .sdqlite.ast import Expr
 from .session import RunOutcome, Session
 from .storage.catalog import Catalog
 
-__all__ = ["RunOutcome", "run", "run_detailed", "explain"]
+__all__ = ["RunOutcome", "advise", "run", "run_detailed", "explain"]
 
 
 def run_detailed(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
@@ -83,6 +83,33 @@ def run(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",
     return run_detailed(program, catalog, method=method, backend=backend,
                         dense_shape=dense_shape,
                         optimizer_options=optimizer_options).result
+
+
+def advise(programs, catalog: Catalog, *, apply: bool = False, **kwargs):
+    """One-shot workload-driven format advice: which storage should these tensors use?
+
+    ``programs`` is the workload — one SDQLite program, a list of programs,
+    ``(program, weight)`` pairs, or :class:`repro.advisor.WorkloadQuery`
+    rows.  Enumerates the storage formats that can legally hold each
+    referenced tensor, estimates every program's optimized plan cost under
+    each candidate configuration (the paper's Sec. 5 cost model), and
+    returns a ranked :class:`repro.advisor.Recommendation`.  With
+    ``apply=True`` the top recommendation is additionally executed against
+    ``catalog`` in place (tensors re-stored via ``storage.convert``, catalog
+    epochs bumped).  Keyword arguments are forwarded to
+    :meth:`repro.session.Session.advise` (e.g. ``measure=True`` to validate
+    the top-k estimates with real executions on the vectorized backend).
+
+    Example::
+
+        recommendation = storel.advise(program, catalog, measure=True)
+        print(recommendation.summary())
+    """
+    session = Session(catalog)
+    recommendation = session.advise(programs, **kwargs)
+    if apply:
+        session.apply_recommendation(recommendation)
+    return recommendation
 
 
 def explain(program: "str | Expr", catalog: Catalog, *, method: str = "greedy",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -125,6 +125,68 @@ def backend_shootout(kernel: Kernel, catalog: Catalog, *,
         measurements.append(
             measure(system, kernel, catalog, dataset=dataset, repeats=repeats, check=check))
     return measurements
+
+
+def reformatted_catalog(catalog: Catalog, formats: Mapping[str, str]) -> Catalog:
+    """A new catalog with some tensors re-stored per ``{tensor: format_name}``.
+
+    Tensors not named in ``formats`` (and all scalars) are carried over
+    unchanged; named tensors are converted with
+    :func:`repro.storage.convert.reformat`.  The input catalog is untouched —
+    this builds the per-configuration catalogs of :func:`advisor_shootout`.
+    """
+    from ..storage.convert import reformat
+
+    out = Catalog()
+    for name, fmt in catalog.tensors.items():
+        kind = formats.get(name)
+        out.add(reformat(fmt, kind) if kind is not None else fmt)
+    for name, value in catalog.scalars.items():
+        out.add_scalar(name, value)
+    return out
+
+
+def advisor_shootout(kernel: Kernel, catalog: Catalog,
+                     configurations: Mapping[str, Mapping[str, str]], *,
+                     backend: str = "vectorize", method: str = "greedy",
+                     dataset: str = "", repeats: int = 3, rounds: int = 3,
+                     check: bool = True) -> list[Measurement]:
+    """Measure STOREL on one kernel under several named storage configurations.
+
+    ``configurations`` maps a label to a ``{tensor: format_name}``
+    assignment; each configuration is measured on its own re-formatted copy
+    of ``catalog`` (conversion excluded from the timed region, like all
+    preparation).  The resulting system names are ``STOREL[<label>]`` and
+    each measurement's ``detail`` records the concrete formats, so advisor
+    picks can be compared side by side with hand-picked configurations —
+    ``benchmarks/bench_advisor.py`` uses this as its shootout mode.
+
+    Measurement is **interleaved**: the whole configuration set is measured
+    ``rounds`` times round-robin and each configuration keeps its best
+    round.  Millisecond-scale pure-Python runs drift with process state
+    (heap growth, allocator modes); interleaving means a configuration only
+    reports a slow number if it was slow in *every* round, which makes
+    cross-configuration comparisons stable.
+    """
+    from ..baselines.storel_system import StorelSystem
+
+    catalogs = {label: reformatted_catalog(catalog, formats)
+                for label, formats in configurations.items()}
+    best: dict[str, Measurement] = {}
+    for _ in range(max(1, rounds)):
+        for label, formats in configurations.items():
+            system = StorelSystem(method=method, backend=backend,
+                                  name=f"STOREL[{label}]")
+            measurement = measure(system, kernel, catalogs[label], dataset=dataset,
+                                  repeats=repeats, check=check)
+            measurement.detail = ", ".join(
+                f"{tensor}:{fmt}" for tensor, fmt in sorted(formats.items()))
+            previous = best.get(label)
+            if (previous is None or previous.mean_ms is None
+                    or (measurement.mean_ms is not None
+                        and measurement.mean_ms < previous.mean_ms)):
+                best[label] = measurement
+    return [best[label] for label in configurations]
 
 
 def catalog_for_matrices(formats: dict[str, tuple[str, np.ndarray]],

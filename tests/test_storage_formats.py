@@ -223,3 +223,120 @@ def test_format_registry_complete():
     assert set(FORMATS) == {"dense", "coo", "csr", "csc", "dcsr", "csf", "dok", "trie"}
     assert FORMATS["csr"] is CSRFormat
     assert FORMATS["dense"] is DenseFormat
+
+
+# ---------------------------------------------------------------------------
+# from_coo edge cases: empty tensors, single elements, duplicate coordinates
+# ---------------------------------------------------------------------------
+
+#: Rank-2 formats that can store a 4x4 matrix with entries on/below the
+#: diagonal and inside the tridiagonal band (so every special format is
+#: legal too).  See docs/formats.md, "Duplicate-coordinate semantics".
+RANK2_KINDS = ["dense", "coo", "csr", "csc", "dcsr", "dok", "trie",
+               "lower_triangular", "band", "zorder"]
+RANK3_KINDS = ["dense", "coo", "csf", "dok", "trie"]
+RANK1_KINDS = ["dense", "coo", "dok", "trie"]
+
+from repro.storage import ALL_FORMATS, sum_duplicates  # noqa: E402
+
+
+class TestFromCooEdgeCases:
+    """The documented ``from_coo`` semantics, pinned across every format."""
+
+    empty2 = (np.empty((0, 2), dtype=np.int64), np.empty(0))
+    empty3 = (np.empty((0, 3), dtype=np.int64), np.empty(0))
+
+    @pytest.mark.parametrize("kind", RANK2_KINDS)
+    def test_empty_matrix(self, kind):
+        fmt = ALL_FORMATS[kind].from_coo("E", *self.empty2, (4, 4))
+        assert fmt.nnz == 0
+        np.testing.assert_array_equal(fmt.to_dense(), np.zeros((4, 4)))
+
+    @pytest.mark.parametrize("kind", RANK3_KINDS)
+    def test_empty_rank3(self, kind):
+        fmt = ALL_FORMATS[kind].from_coo("E", *self.empty3, (3, 3, 3))
+        assert fmt.nnz == 0
+        np.testing.assert_array_equal(fmt.to_dense(), np.zeros((3, 3, 3)))
+
+    @pytest.mark.parametrize("kind", RANK1_KINDS)
+    def test_empty_vector(self, kind):
+        fmt = ALL_FORMATS[kind].from_coo(
+            "E", np.empty((0, 1), dtype=np.int64), np.empty(0), (5,))
+        assert fmt.nnz == 0
+        np.testing.assert_array_equal(fmt.to_dense(), np.zeros(5))
+
+    @pytest.mark.parametrize("kind", RANK2_KINDS)
+    def test_single_element_matrix(self, kind):
+        # (1, 0) is on the sub-diagonal: legal for every special format too.
+        fmt = ALL_FORMATS[kind].from_coo("S", np.array([[1, 0]]), np.array([5.0]),
+                                         (4, 4))
+        expected = np.zeros((4, 4))
+        expected[1, 0] = 5.0
+        np.testing.assert_array_equal(fmt.to_dense(), expected)
+        assert fmt.nnz == 1
+
+    @pytest.mark.parametrize("kind", RANK3_KINDS)
+    def test_single_element_rank3(self, kind):
+        fmt = ALL_FORMATS[kind].from_coo("S", np.array([[1, 2, 0]]),
+                                         np.array([3.5]), (3, 3, 3))
+        expected = np.zeros((3, 3, 3))
+        expected[1, 2, 0] = 3.5
+        np.testing.assert_array_equal(fmt.to_dense(), expected)
+
+    @pytest.mark.parametrize("kind", RANK2_KINDS)
+    def test_duplicate_coordinates_are_summed(self, kind):
+        coords = np.array([[0, 0], [0, 0], [1, 1], [0, 0]])
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        fmt = ALL_FORMATS[kind].from_coo("D", coords, values, (4, 4))
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 7.0
+        expected[1, 1] = 3.0
+        np.testing.assert_array_equal(fmt.to_dense(), expected)
+
+    @pytest.mark.parametrize("kind", RANK3_KINDS)
+    def test_duplicate_coordinates_rank3(self, kind):
+        coords = np.array([[0, 1, 2], [0, 1, 2], [2, 2, 2]])
+        values = np.array([1.5, 2.5, -1.0])
+        fmt = ALL_FORMATS[kind].from_coo("D", coords, values, (3, 3, 3))
+        expected = np.zeros((3, 3, 3))
+        expected[0, 1, 2] = 4.0
+        expected[2, 2, 2] = -1.0
+        np.testing.assert_array_equal(fmt.to_dense(), expected)
+
+    def test_duplicates_coalesce_in_coo_storage(self):
+        coords = np.array([[0, 0], [0, 0], [1, 1]])
+        fmt = COOFormat.from_coo("D", coords, np.array([1.0, 2.0, 3.0]), (2, 2))
+        # Stored coordinates are unique and row-major sorted.
+        assert fmt.nnz == 2
+        np.testing.assert_array_equal(fmt.coords, [[0, 0], [1, 1]])
+        np.testing.assert_array_equal(fmt.values, [3.0, 3.0])
+
+    @pytest.mark.parametrize("kind", ["coo", "csr", "dok", "trie"])
+    def test_duplicates_summing_to_zero(self, kind):
+        coords = np.array([[0, 0], [0, 0], [1, 1]])
+        values = np.array([2.0, -2.0, 3.0])
+        fmt = ALL_FORMATS[kind].from_coo("Z", coords, values, (2, 2))
+        expected = np.zeros((2, 2))
+        expected[1, 1] = 3.0
+        np.testing.assert_array_equal(fmt.to_dense(), expected)
+        # Entries summing to zero are dropped uniformly, so nnz does not
+        # depend on the format (or on the conversion path taken later).
+        assert fmt.nnz == 1
+
+    @pytest.mark.parametrize("kind", ["coo", "csr", "dok", "trie"])
+    def test_mapping_semantics_with_duplicates(self, kind):
+        coords = np.array([[0, 0], [0, 0], [2, 3], [2, 3], [1, 2]])
+        values = np.array([1.0, 1.0, 2.0, 5.0, 4.0])
+        fmt = ALL_FORMATS[kind].from_coo("D", coords, values, (3, 4))
+        expected = np.zeros((3, 4))
+        np.add.at(expected, tuple(coords.T), values)
+        np.testing.assert_allclose(dense_from_mapping(fmt), expected)
+
+    def test_sum_duplicates_helper(self):
+        coords, values = sum_duplicates(
+            np.array([[2, 0], [0, 1], [2, 0]]), np.array([1.0, 2.0, 3.0]), 2)
+        np.testing.assert_array_equal(coords, [[0, 1], [2, 0]])
+        np.testing.assert_array_equal(values, [2.0, 4.0])
+        # Empty input stays empty (and keeps its shape).
+        coords, values = sum_duplicates(np.empty((0, 2)), np.empty(0), 2)
+        assert coords.shape == (0, 2) and values.shape == (0,)
