@@ -286,6 +286,25 @@ class CostModel:
         return K_HASH
 
 
+#: A class may appear at most this many times on one extraction path.  The
+#: ``(class, env)`` stack guard below cannot terminate cycles that pass
+#: through a *binder* (``let`` / ``sum`` / ``merge``): the environment grows
+#: at every level, so the stack key never repeats and the recursion would be
+#: unbounded (found by the differential fuzzer, :mod:`repro.fuzz`).  Pruning
+#: a path that re-enters the same class this often only forgoes plans that
+#: nest a class inside itself repeatedly — every term still extracted is a
+#: member of its class, so correctness is unaffected.
+_CLASS_REVISIT_LIMIT = 3
+
+#: Absolute bound on the extraction path length (second safety net for the
+#: same binder-cycle problem; generous — curated workloads stay far below).
+#: Also keeps extracted plans shallow enough for the tree-walking backends:
+#: the interpreter spends ~8 Python frames per nesting level, so this must
+#: leave ample headroom under the default recursion limit regardless of how
+#: deep the caller's own stack already is.
+_MAX_EXTRACTION_DEPTH = 64
+
+
 class _Extraction:
     """Top-down, memoized, environment-aware extraction from an e-graph."""
 
@@ -294,6 +313,8 @@ class _Extraction:
         self.egraph = egraph
         self.memo: dict[tuple[int, Env], Optional[tuple[CostInfo, Expr]]] = {}
         self.on_stack: set[tuple[int, Env]] = set()
+        self._class_visits: dict[int, int] = {}
+        self._prunes = 0  # bumped whenever a path is cut by a cycle / limit
 
     def best(self, identifier: int, env: Env) -> Optional[tuple[CostInfo, Expr]]:
         identifier = self.egraph.find(identifier)
@@ -301,17 +322,33 @@ class _Extraction:
         if key in self.memo:
             return self.memo[key]
         if key in self.on_stack:
+            self._prunes += 1
             return None  # cycle: no finite plan down this path
+        if (len(self.on_stack) >= _MAX_EXTRACTION_DEPTH
+                or self._class_visits.get(identifier, 0) >= _CLASS_REVISIT_LIMIT):
+            self._prunes += 1
+            return None
         self.on_stack.add(key)
-        best: Optional[tuple[CostInfo, Expr]] = None
-        for enode in self.egraph[identifier].nodes:
-            candidate = self._node(enode, env)
-            if candidate is None or not math.isfinite(candidate[0].cost):
-                continue
-            if best is None or candidate[0].cost < best[0].cost:
-                best = candidate
-        self.on_stack.discard(key)
-        self.memo[key] = best
+        self._class_visits[identifier] = self._class_visits.get(identifier, 0) + 1
+        prunes_before = self._prunes
+        try:
+            best: Optional[tuple[CostInfo, Expr]] = None
+            for enode in self.egraph[identifier].nodes:
+                candidate = self._node(enode, env)
+                if candidate is None or not math.isfinite(candidate[0].cost):
+                    continue
+                if best is None or candidate[0].cost < best[0].cost:
+                    best = candidate
+        finally:
+            self.on_stack.discard(key)
+            self._class_visits[identifier] -= 1
+        # A None computed while some path beneath was cut by a cycle or a
+        # limit is only valid in *this* stack context — memoizing it would
+        # poison extraction from contexts where the path is open (a real
+        # "no finite-cost plan" failure mode found by the differential
+        # fuzzer).  Successes are always safe to memoize.
+        if best is not None or self._prunes == prunes_before:
+            self.memo[key] = best
         return best
 
     def _node(self, enode, env: Env) -> Optional[tuple[CostInfo, Expr]]:

@@ -144,7 +144,7 @@ class Optimizer:
     def _optimize_greedy(self, program: Expr, mappings: Mapping[str, Expr],
                          naive: Expr) -> OptimizationResult:
         model = CostModel(self.stats)
-        candidates = strategies.candidate_plans(naive)
+        candidates = strategies.candidate_plans(naive, self._symbol_ranks(mappings))
         costs = {name: model.plan_cost(plan) for name, plan in candidates.items()}
         chosen = min(costs, key=costs.get)
         return OptimizationResult(
@@ -159,10 +159,30 @@ class Optimizer:
     # e-graph mode: two-stage equality saturation + cost-based extraction
     # ------------------------------------------------------------------
 
+    def _symbol_ranks(self, mappings: Mapping[str, Expr]) -> dict[str, int]:
+        """Nesting rank per dictionary-valued symbol, for typed rule conditions.
+
+        Logical tensor names (they stand for their storage mappings) and
+        every physical symbol the statistics know a cardinality profile for;
+        scalars are simply absent.  Rules that are only sound for scalar
+        operands (the dict-factor rules) consult this map through
+        ``EGraph.symbol_ranks``.
+        """
+        ranks: dict[str, int] = {}
+        for name, card in self.stats.profiles.items():
+            rank = card.depth()
+            if rank > 0:
+                ranks[name] = rank
+        for name in mappings:
+            ranks.setdefault(name, 1)
+        return ranks
+
     def _optimize_egraph(self, program: Expr, mappings: Mapping[str, Expr],
                          naive: Expr) -> OptimizationResult:
+        ranks = self._symbol_ranks(mappings)
         # Stage 1: storage-independent optimization of the tensor program.
         stage1_graph = EGraph(eager_terms=self.eager_terms)
+        stage1_graph.symbol_ranks = ranks
         root1 = stage1_graph.add_expr(program)
         report1 = self._make_runner(stage1_graph, rule_sets.logical_rules()).run()
         logical_model = CostModel(self.stats, require_physical=False)
@@ -174,11 +194,12 @@ class Optimizer:
 
         # Stage 2: storage-aware optimization of the composed plan.
         stage2_graph = EGraph(eager_terms=self.eager_terms)
+        stage2_graph.symbol_ranks = ranks
         root2 = stage2_graph.add_expr(composed)
         candidate_costs: dict[str, float] = {}
         if self.seed_candidates:
             greedy_model = CostModel(self.stats)
-            for name, plan in strategies.candidate_plans(composed).items():
+            for name, plan in strategies.candidate_plans(composed, ranks).items():
                 candidate_costs[name] = greedy_model.plan_cost(plan)
                 seeded = stage2_graph.add_expr(plan)
                 stage2_graph.union(root2, seeded)

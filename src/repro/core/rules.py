@@ -34,6 +34,149 @@ def _dynamic(name: str, pattern: str, transform, *conditions) -> Rewrite:
     return Rewrite.make_dynamic(name, pattern, applier, *conditions)
 
 
+def _dynamic_with_ranks(name: str, pattern: str, transform, *conditions) -> Rewrite:
+    """A dynamic rule whose transform takes ``(term, env, symbol_ranks)``.
+
+    The matched fragment's enclosing binders are unknown (``env=None``), so
+    the transform falls back to its closed-factor discipline; symbol ranks
+    come from the e-graph, set by the optimizer.
+    """
+
+    def applier(egraph, enode, term, subst):
+        return transform(term, None, egraph.symbol_ranks)
+
+    return Rewrite.make_dynamic(name, pattern, applier, *conditions)
+
+
+# ---------------------------------------------------------------------------
+# Type-sensitive side conditions
+# ---------------------------------------------------------------------------
+
+#: Binder-environment entries carried down the class analysis are capped so
+#: the ``seen`` memo keys stay small; indices past the cap read as unknown.
+_ENV_CAP = 12
+
+#: Class-visit budget per condition check.  Binder cycles in the e-graph
+#: change the environment at every descent, so the ``seen`` guard alone
+#: cannot terminate them (the same trap extraction has, see core/cost.py);
+#: when the budget runs out the analysis falls back to "not proven a
+#: collection" — the optimistic default the rules always used for leaves.
+_ANALYSIS_FUEL = 2000
+
+#: Hard bound on the analysis recursion *depth* (fuel alone bounds visits,
+#: not the stack): a long non-repeating chain through binder nodes may
+#: otherwise overflow Python's recursion limit on adversarial e-graphs.
+_ANALYSIS_DEPTH = 48
+
+
+def _class_produces_collection(egraph, identifier: int, depth: int = 0,
+                               env: tuple[bool, ...] = (),
+                               seen: set | None = None,
+                               fuel: list | None = None,
+                               level: int = 0) -> bool:
+    """Conservatively decide whether an e-class is dictionary-valued.
+
+    The e-graph analogue of :func:`repro.core.strategies.is_collection_producer`
+    (same ``depth`` convention — "is the value, after ``depth`` more lookups,
+    still a dictionary?" — and the same binder environment: descending into a
+    ``sum`` body records whether the bound value ``%0`` is definitely a
+    dictionary, derived from the source class).  True when any member of the
+    class *definitely* constructs a collection: a dictionary / range / slice
+    node, a symbol whose rank (from ``egraph.symbol_ranks``, set by the
+    optimizer from the catalog statistics) exceeds ``depth``, a
+    dictionary-valued bound variable, a lookup into such a class one level
+    deeper, or an operator whose value position recurses into one.
+    Out-of-scope variables and unregistered symbols are assumed scalar —
+    the same optimism the term-level strategies use for leaves.
+    """
+    if seen is None:
+        seen = set()
+    if fuel is None:
+        fuel = [_ANALYSIS_FUEL, False]
+    if fuel[0] <= 0 or level >= _ANALYSIS_DEPTH:
+        # Out of budget: record that the answer is a truncation, not a proof
+        # (the scalar_factor condition then fails safe and blocks the move).
+        fuel[1] = True
+        return False
+    fuel[0] -= 1
+    identifier = egraph.find(identifier)
+    key = (identifier, depth, env)
+    if key in seen:
+        return False
+    seen.add(key)
+    for enode in egraph[identifier].nodes:
+        head = enode.head
+        if head == "dict":
+            if depth == 0 or _class_produces_collection(egraph, enode.children[1], depth - 1, env, seen, fuel, level + 1):
+                return True
+        elif head == "range":
+            if depth == 0:
+                return True
+        elif head == "slice":
+            if depth == 0 or _class_produces_collection(egraph, enode.children[0], depth, env, seen, fuel, level + 1):
+                return True
+        elif head == "sym":
+            if egraph.symbol_ranks.get(enode.label[1], 0) > depth:
+                return True
+        elif head == "idx":
+            index = enode.label[1]
+            if depth == 0 and index < len(env) and env[index]:
+                return True
+        elif head == "get":
+            if _class_produces_collection(egraph, enode.children[0], depth + 1, env, seen, fuel, level + 1):
+                return True
+        elif head == "sum":
+            value_is_dict = _class_produces_collection(egraph, enode.children[0], 1, env, seen, fuel, level + 1)
+            body_env = ((value_is_dict, False) + env)[:_ENV_CAP]
+            if _class_produces_collection(egraph, enode.children[1], depth, body_env, seen, fuel, level + 1):
+                return True
+        elif head == "let":
+            value_is_dict = _class_produces_collection(egraph, enode.children[0], 0, env, seen, fuel, level + 1)
+            body_env = ((value_is_dict,) + env)[:_ENV_CAP]
+            if _class_produces_collection(egraph, enode.children[1], depth, body_env, seen, fuel, level + 1):
+                return True
+        elif head == "if":
+            if _class_produces_collection(egraph, enode.children[1], depth, env, seen, fuel, level + 1):
+                return True
+        elif head == "merge":
+            body_env = ((False, False, False) + env)[:_ENV_CAP]
+            if _class_produces_collection(egraph, enode.children[2], depth, body_env, seen, fuel, level + 1):
+                return True
+        elif head in ("add", "sub", "mul", "neg"):
+            if any(_class_produces_collection(egraph, child, depth, env, seen, fuel, level + 1)
+                   for child in enode.children):
+                return True
+    return False
+
+
+def scalar_factor(variable: str):
+    """Condition: the class bound to ``variable`` is not collection-valued.
+
+    The dict-factor rules A2/A3 move a factor across a ``{ key -> ... }``
+    constructor; that is multiplication by a *scalar* on one side and a
+    key-intersecting dictionary product on the other, so the rules are only
+    sound for scalar factors (``{0 -> c} * {3 -> 1}`` is ``{}``, not
+    ``{0 -> {3 -> c}}`` — found by the differential fuzzer).
+    """
+
+    def check(egraph, subst) -> bool:
+        # A factor with free variables references enclosing binders the
+        # e-graph knows nothing about (one class can sit under many
+        # different binders), so its rank is unknowable per-context — only
+        # closed factors can be moved soundly (found by the differential
+        # fuzzer: a dict-valued `sum(<k, v> in T) v` factor read as scalar).
+        if egraph.free_vars(subst[variable]):
+            return False
+        fuel = [_ANALYSIS_FUEL, False]
+        if _class_produces_collection(egraph, subst[variable], fuel=fuel):
+            return False
+        # A truncated analysis proves nothing — fail safe and keep the
+        # factor in place rather than risk an unsound move.
+        return not fuel[1]
+
+    return check
+
+
 # ---------------------------------------------------------------------------
 # Rule groups
 # ---------------------------------------------------------------------------
@@ -44,8 +187,10 @@ def associativity_commutativity_rules() -> list[Rewrite]:
     rules: list[Rewrite] = []
     rules += bidirectional("A1-mul-assoc", "?a * (?b * ?c)", "(?a * ?b) * ?c")
     rules.append(Rewrite.syntactic("mul-comm", "?a * ?b", "?b * ?a"))
-    rules += bidirectional("A2-dict-factor-right", "{ ?k -> ?a * ?b }", "{ ?k -> ?a } * ?b")
-    rules += bidirectional("A3-dict-factor-left", "{ ?k -> ?a * ?b }", "?a * { ?k -> ?b }")
+    rules += bidirectional("A2-dict-factor-right", "{ ?k -> ?a * ?b }", "{ ?k -> ?a } * ?b",
+                           scalar_factor("?b"))
+    rules += bidirectional("A3-dict-factor-left", "{ ?k -> ?a * ?b }", "?a * { ?k -> ?b }",
+                           scalar_factor("?a"))
     rules += bidirectional("A4-if-factor", "if (?c) then (?a * ?b)", "?a * (if (?c) then ?b)")
     rules.append(Rewrite.syntactic("C1-add-comm", "?a + ?b", "?b + ?a"))
     rules.append(Rewrite.syntactic("C2-eq-comm", "?a == ?b", "?b == ?a"))
@@ -85,7 +230,7 @@ def distributivity_rules() -> list[Rewrite]:
     rules.append(_dynamic(
         "D5-hoist-if", "sum(<k, v> in ?e1) if (?c) then ?e", strategies.hoist_if,
         var_independent_of("?c", 0, 1)))
-    rules.append(_dynamic(
+    rules.append(_dynamic_with_ranks(
         "A2-lift-scalar-sum", "{ ?k -> ?a * ?b }", strategies.factor_out_of_dict))
     return rules
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..storage.physical import KIND_HASH, KIND_TRIE
 from .cardinality import Card, card_from_profile
 
 #: Default selectivity for predicates whose selectivity is unknown (paper: 0.1).
@@ -81,6 +82,15 @@ class Statistics:
         for symbol, value in fmt.physical().items():
             if isinstance(value, (int, float)):
                 self.scalar_values[symbol] = value
+            # Nested physical collections (hash-maps, tries) *are* the
+            # logical tensor: give them its full nested profile, so both the
+            # cost model and the optimizer's rank analysis see their true
+            # dictionary depth (a flat length profile made the dict-factor
+            # rules treat a trie's rows as scalars — found by the
+            # differential fuzzer).
+            elif getattr(value, "kind", None) in (KIND_HASH, KIND_TRIE) \
+                    and symbol not in self.profiles:
+                self.profiles[symbol] = card_from_profile(fmt.profile())
             # Physical arrays are themselves dictionaries position -> value;
             # give them flat profiles based on their length so iterating them
             # is costed.

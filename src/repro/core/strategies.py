@@ -20,7 +20,7 @@ the property-based tests).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..sdqlite.ast import (
     Add,
@@ -118,21 +118,57 @@ def is_strict_in(expr: Expr, index: int) -> bool:
     return False
 
 
-def is_collection_producer(expr: Expr) -> bool:
-    """True when the expression constructs a dictionary (rather than a scalar)."""
-    if isinstance(expr, (DictExpr, RangeExpr, SliceGet, Merge)):
-        return True
+def value_rank_lb(expr: Expr, env: tuple[int, ...] = (),
+                  symbol_ranks: "Mapping[str, int] | None" = None) -> int:
+    """A proven *lower bound* on the dictionary nesting rank of ``expr``.
+
+    0 means "no proof" — the expression may still be a scalar or an unknown
+    leaf (symbol without an entry in ``symbol_ranks``, out-of-scope
+    variable).  ``env[i]`` carries the proven rank of the binder behind
+    ``Idx(i)``: a ``sum`` over a rank-``r`` source binds a rank-``r-1``
+    value, so ``sum(<k, v> in T) v`` over a matrix is provably rank 1.
+    The factorization guards use this to keep dictionary-valued factors from
+    being moved across ``{ key -> ... }`` constructors, where scalar scaling
+    silently becomes key intersection (found by the differential fuzzer).
+    """
+    if isinstance(expr, DictExpr):
+        return 1 + value_rank_lb(expr.value, env, symbol_ranks)
+    if isinstance(expr, RangeExpr):
+        return 1
+    if isinstance(expr, SliceGet):
+        return value_rank_lb(expr.target, env, symbol_ranks)
+    if isinstance(expr, Merge):
+        return value_rank_lb(expr.body, (0, 0, 0) + env, symbol_ranks)
     if isinstance(expr, Sum):
-        return is_collection_producer(expr.body)
-    if isinstance(expr, (IfThen,)):
-        return is_collection_producer(expr.then)
+        source_rank = value_rank_lb(expr.source, env, symbol_ranks)
+        body_env = (max(source_rank - 1, 0), 0) + env
+        return value_rank_lb(expr.body, body_env, symbol_ranks)
+    if isinstance(expr, IfThen):
+        return value_rank_lb(expr.then, env, symbol_ranks)
     if isinstance(expr, Let):
-        return is_collection_producer(expr.body)
-    if isinstance(expr, (Add, Sub)):
-        return is_collection_producer(expr.left) or is_collection_producer(expr.right)
-    if isinstance(expr, Mul):
-        return is_collection_producer(expr.left) or is_collection_producer(expr.right)
-    return False
+        body_env = (value_rank_lb(expr.value, env, symbol_ranks),) + env
+        return value_rank_lb(expr.body, body_env, symbol_ranks)
+    if isinstance(expr, (Add, Sub, Mul)):
+        # Well-typed additions have equal ranks; multiplication overloads
+        # scalar x dict, so the higher proven bound applies either way.
+        return max(value_rank_lb(expr.left, env, symbol_ranks),
+                   value_rank_lb(expr.right, env, symbol_ranks))
+    if isinstance(expr, Neg):
+        return value_rank_lb(expr.operand, env, symbol_ranks)
+    if isinstance(expr, Get):
+        return max(value_rank_lb(expr.target, env, symbol_ranks) - 1, 0)
+    if isinstance(expr, Idx):
+        return env[expr.index] if expr.index < len(env) else 0
+    if isinstance(expr, Sym) and symbol_ranks:
+        return symbol_ranks.get(expr.name, 0)
+    return 0
+
+
+def is_collection_producer(expr: Expr, depth: int = 0,
+                           env: tuple[int, ...] = (),
+                           symbol_ranks: "Mapping[str, int] | None" = None) -> bool:
+    """True when ``expr``, after ``depth`` more lookups, is *provably* a dictionary."""
+    return value_rank_lb(expr, env, symbol_ranks) > depth
 
 
 # ---------------------------------------------------------------------------
@@ -194,32 +230,59 @@ def hoist_if(term: Expr) -> Expr | None:
                                 key_name=term.key_name, val_name=term.val_name))
 
 
-def push_factor_into_dict(term: Expr) -> Expr | None:
+def _movable_factor(factor: Expr, env: "tuple[int, ...] | None",
+                    symbol_ranks: "Mapping[str, int] | None") -> bool:
+    """May ``factor`` move across a ``{ key -> ... }`` constructor?
+
+    Only scalar factors may — for a dictionary the move turns scaling into
+    key intersection.  With a binder environment (``env`` from a root walk)
+    the rank analysis covers bound variables; without one (``env is None``,
+    the transform ran on an e-graph fragment whose enclosing binders are
+    unknown) a factor referencing free variables cannot be judged at all and
+    is kept in place.
+    """
+    known_env = env if env is not None else ()
+    if is_collection_producer(factor, 0, known_env, symbol_ranks):
+        return False
+    return env is not None or not free_indices(factor)
+
+
+def push_factor_into_dict(term: Expr, env: "tuple[int, ...] | None" = None,
+                          symbol_ranks: "Mapping[str, int] | None" = None) -> Expr | None:
     """A2/A3 as a term rewrite: ``a * { k -> e }`` → ``{ k -> a * e }``."""
     if isinstance(term, Mul):
         left, right = term.left, term.right
-        if isinstance(right, DictExpr) and not is_collection_producer(left):
+        if isinstance(right, DictExpr) and _movable_factor(left, env, symbol_ranks):
             return DictExpr(right.key, Mul(left, right.value),
                             annot=right.annot, unique=right.unique)
-        if isinstance(left, DictExpr) and not is_collection_producer(right):
+        if isinstance(left, DictExpr) and _movable_factor(right, env, symbol_ranks):
             return DictExpr(left.key, Mul(left.value, right),
                             annot=left.annot, unique=left.unique)
     return None
 
 
-def factor_out_of_dict(term: Expr) -> Expr | None:
+push_factor_into_dict.wants_env = True
+
+
+def factor_out_of_dict(term: Expr, env: "tuple[int, ...] | None" = None,
+                       symbol_ranks: "Mapping[str, int] | None" = None) -> Expr | None:
     """A2/A3 in the hoisting direction: ``{ k -> a * e }`` → ``a * { k -> e }``
     for factors ``a`` that are scalar-valued sums (so they can later be hoisted
-    out of an enclosing loop and materialized once)."""
+    out of an enclosing loop and materialized once).  See :func:`_movable_factor`
+    for the scalarness guard."""
     if not isinstance(term, DictExpr) or not isinstance(term.value, Mul):
         return None
     factors = _flatten_product(term.value)
-    liftable = [f for f in factors if isinstance(f, (Sum, Let)) and not is_collection_producer(f)]
+    liftable = [f for f in factors if isinstance(f, (Sum, Let))
+                and _movable_factor(f, env, symbol_ranks)]
     rest = [f for f in factors if f not in liftable]
     if not liftable or not rest:
         return None
     return Mul(_product(liftable),
                DictExpr(term.key, _product(rest), annot=term.annot, unique=term.unique))
+
+
+factor_out_of_dict.wants_env = True
 
 
 # ---------------------------------------------------------------------------
@@ -451,18 +514,47 @@ def simplify_node(term: Expr) -> Expr | None:
 # ---------------------------------------------------------------------------
 
 
+def _child_env(node: Expr, index: int, value_child: Expr,
+               env: tuple[int, ...],
+               symbol_ranks: "Mapping[str, int] | None") -> tuple[int, ...]:
+    """The binder environment seen by child ``index`` of ``node``.
+
+    ``value_child`` is the (possibly already rewritten) child whose rank
+    determines the bound value: the source of a ``Sum``, the value of a
+    ``Let``.
+    """
+    if isinstance(node, Sum) and index == 1:
+        source_rank = value_rank_lb(value_child, env, symbol_ranks)
+        return (max(source_rank - 1, 0), 0) + env
+    if isinstance(node, Let) and index == 1:
+        return (value_rank_lb(value_child, env, symbol_ranks),) + env
+    if isinstance(node, Merge) and index == 2:
+        return (0, 0, 0) + env
+    return env
+
+
 def rewrite_everywhere(term: Expr, transforms: Iterable[Transform],
-                       max_passes: int = 20) -> Expr:
-    """Apply the transformations bottom-up anywhere they match, to fixpoint."""
+                       max_passes: int = 20,
+                       symbol_ranks: "Mapping[str, int] | None" = None) -> Expr:
+    """Apply the transformations bottom-up anywhere they match, to fixpoint.
+
+    A binder environment of proven value ranks (see :func:`value_rank_lb`)
+    is maintained during the walk and handed to transforms that declare
+    ``wants_env`` — the factor-moving rewrites, whose scalarness guards
+    would otherwise be blind to dictionary-valued variables bound by
+    *enclosing* loops.
+    """
     transforms = list(transforms)
 
-    def rewrite_once(node: Expr) -> tuple[Expr, bool]:
+    def rewrite_once(node: Expr, env: tuple[int, ...]) -> tuple[Expr, bool]:
         changed = False
         kids = children(node)
         if kids:
-            new_kids = []
-            for child in kids:
-                new_child, child_changed = rewrite_once(child)
+            new_kids: list[Expr] = []
+            for index, child in enumerate(kids):
+                value_child = new_kids[0] if index > 0 else child
+                child_env = _child_env(node, index, value_child, env, symbol_ranks)
+                new_child, child_changed = rewrite_once(child, child_env)
                 changed = changed or child_changed
                 new_kids.append(new_child)
             if changed:
@@ -471,14 +563,17 @@ def rewrite_everywhere(term: Expr, transforms: Iterable[Transform],
                 # nothing (this runs once per candidate plan per optimize).
                 node = rebuild(node, new_kids)
         for transform in transforms:
-            result = transform(node)
+            if getattr(transform, "wants_env", False):
+                result = transform(node, env, symbol_ranks)
+            else:
+                result = transform(node)
             if result is not None and result != node:
                 return result, True
         return node, changed
 
     current = term
     for _ in range(max_passes):
-        current, changed = rewrite_once(current)
+        current, changed = rewrite_once(current, ())
         if not changed:
             break
     return current
@@ -505,18 +600,21 @@ FACTORIZATION_TRANSFORMS: tuple[Transform, ...] = (
 )
 
 
-def fuse(term: Expr, max_passes: int = 30) -> Expr:
+def fuse(term: Expr, max_passes: int = 30,
+         symbol_ranks: "Mapping[str, int] | None" = None) -> Expr:
     """Fuse storage mappings into the program (loop fusion only, no factorization)."""
-    return rewrite_everywhere(term, FUSION_TRANSFORMS, max_passes)
+    return rewrite_everywhere(term, FUSION_TRANSFORMS, max_passes, symbol_ranks)
 
 
-def factorize(term: Expr, max_passes: int = 30) -> Expr:
+def factorize(term: Expr, max_passes: int = 30,
+              symbol_ranks: "Mapping[str, int] | None" = None) -> Expr:
     """Apply the distributivity / factorization rewrites to fixpoint."""
-    return rewrite_everywhere(term, FACTORIZATION_TRANSFORMS, max_passes)
+    return rewrite_everywhere(term, FACTORIZATION_TRANSFORMS, max_passes, symbol_ranks)
 
 
 def greedy_optimize(term: Expr, *, with_fusion: bool = True,
-                    with_factorization: bool = True, with_merge: bool = False) -> Expr:
+                    with_factorization: bool = True, with_merge: bool = False,
+                    symbol_ranks: "Mapping[str, int] | None" = None) -> Expr:
     """The deterministic optimization pipeline used to seed the plan space.
 
     The combinations of the two flags correspond to the ablations of Fig. 9:
@@ -526,13 +624,14 @@ def greedy_optimize(term: Expr, *, with_fusion: bool = True,
     """
     plan = term
     if with_factorization:
-        plan = factorize(plan)
+        plan = factorize(plan, symbol_ranks=symbol_ranks)
     if with_fusion:
-        plan = fuse(plan)
+        plan = fuse(plan, symbol_ranks=symbol_ranks)
     if with_factorization:
-        plan = factorize(plan)
+        plan = factorize(plan, symbol_ranks=symbol_ranks)
     if with_merge:
-        plan = rewrite_everywhere(plan, (introduce_merge,), max_passes=5)
+        plan = rewrite_everywhere(plan, (introduce_merge,), max_passes=5,
+                                  symbol_ranks=symbol_ranks)
     return plan
 
 
@@ -552,14 +651,22 @@ def normalize(term: Expr, max_passes: int = 10) -> Expr:
     return rewrite_everywhere(term, NORMALIZATION_TRANSFORMS, max_passes)
 
 
-def candidate_plans(term: Expr) -> dict[str, Expr]:
-    """The named candidate plans the optimizer seeds the e-graph with."""
+def candidate_plans(term: Expr,
+                    symbol_ranks: "Mapping[str, int] | None" = None) -> dict[str, Expr]:
+    """The named candidate plans the optimizer seeds the e-graph with.
+
+    ``symbol_ranks`` (tensor / physical symbol name -> dictionary nesting
+    rank, as built by the optimizer from the catalog statistics) feeds the
+    factor-moving guards; without it only syntactically derivable ranks
+    protect them.
+    """
     base = normalize(term)
+    optimize = lambda **kw: greedy_optimize(base, symbol_ranks=symbol_ranks, **kw)  # noqa: E731
     return {
         "naive": base,
-        "fused": greedy_optimize(base, with_fusion=True, with_factorization=False),
-        "factorized": greedy_optimize(base, with_fusion=False, with_factorization=True),
-        "fused+factorized": greedy_optimize(base, with_fusion=True, with_factorization=True),
-        "fused+factorized+merge": greedy_optimize(
-            base, with_fusion=True, with_factorization=True, with_merge=True),
+        "fused": optimize(with_fusion=True, with_factorization=False),
+        "factorized": optimize(with_fusion=False, with_factorization=True),
+        "fused+factorized": optimize(with_fusion=True, with_factorization=True),
+        "fused+factorized+merge": optimize(
+            with_fusion=True, with_factorization=True, with_merge=True),
     }

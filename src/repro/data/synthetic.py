@@ -6,16 +6,35 @@ This module provides the synthetic generators; the real-world stand-ins are
 built on top of them in :mod:`repro.data.suitesparse` and
 :mod:`repro.data.frostt`.
 
-All generators are deterministic given a seed.
+Reproducibility contract: every generator is a pure function of its inputs.
+Each one accepts either an explicit ``rng`` (a :class:`numpy.random.Generator`)
+or a ``seed`` (from which a private generator is derived) — there is **no**
+module-global random state anywhere, so a fuzzing campaign
+(:mod:`repro.fuzz`) can derive every tensor of every case from one master
+seed.  Passing ``rng`` threads one generator through several calls (each call
+advances it); passing ``seed`` makes the single call self-contained.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+#: Structural classes understood by :func:`random_structured_matrix`; apart
+#: from ``"general"`` each one satisfies the precondition of one of the
+#: special storage formats of Sec. 4 (:mod:`repro.storage.special`).
+MATRIX_STRUCTURES = ("general", "lower_triangular", "tridiagonal")
+
+
+def _resolve_rng(rng: np.random.Generator | None, seed: int) -> np.random.Generator:
+    """An explicit ``rng`` wins; otherwise derive a fresh one from ``seed``."""
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
 
 def random_sparse_matrix(rows: int, cols: int, density: float, *,
-                         seed: int = 0, skew: float = 0.0,
+                         seed: int = 0, rng: np.random.Generator | None = None,
+                         skew: float = 0.0,
                          value_low: float = 0.1, value_high: float = 1.0) -> np.ndarray:
     """A dense array with approximately ``density * rows * cols`` non-zeros.
 
@@ -23,7 +42,7 @@ def random_sparse_matrix(rows: int, cols: int, density: float, *,
     model of the power-law row distributions of real matrices); 0 means
     uniform.
     """
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed)
     matrix = np.zeros((rows, cols), dtype=np.float64)
     nnz = int(round(density * rows * cols))
     if nnz == 0:
@@ -40,15 +59,57 @@ def random_sparse_matrix(rows: int, cols: int, density: float, *,
     return matrix
 
 
+def random_structured_matrix(n: int, density: float, *, structure: str = "general",
+                             seed: int = 0,
+                             rng: np.random.Generator | None = None) -> np.ndarray:
+    """A random square matrix constrained to one of :data:`MATRIX_STRUCTURES`.
+
+    ``"lower_triangular"`` zeroes everything above the diagonal and
+    ``"tridiagonal"`` everything outside the ``|i - j| <= 1`` band, so the
+    result satisfies the structural precondition of the corresponding special
+    storage format (:mod:`repro.storage.special`).  Used by the fuzzer to
+    fabricate tensors that make every legal format exercisable.
+    """
+    if structure not in MATRIX_STRUCTURES:
+        raise ValueError(f"unknown matrix structure {structure!r}; "
+                         f"expected one of {MATRIX_STRUCTURES}")
+    rng = _resolve_rng(rng, seed)
+    matrix = random_sparse_matrix(n, n, density, rng=rng)
+    if structure == "lower_triangular":
+        matrix = np.tril(matrix)
+    elif structure == "tridiagonal":
+        i, j = np.indices((n, n))
+        matrix[np.abs(i - j) > 1] = 0.0
+    return matrix
+
+
+def random_dense_tensor(shape: tuple[int, ...], density: float = 1.0, *,
+                        seed: int = 0, rng: np.random.Generator | None = None,
+                        value_low: float = 0.1, value_high: float = 1.0) -> np.ndarray:
+    """A dense array of any rank with approximately ``density`` fill.
+
+    The rank-agnostic generator the fuzzer's data layer is built on: draw a
+    full tensor of uniform values, then keep each cell with probability
+    ``density``.
+    """
+    rng = _resolve_rng(rng, seed)
+    tensor = rng.uniform(value_low, value_high, size=shape)
+    if density < 1.0:
+        tensor[rng.random(size=shape) >= density] = 0.0
+    return tensor
+
+
 def random_sparse_tensor3(dim1: int, dim2: int, dim3: int, density: float, *,
-                          seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+                          seed: int = 0,
+                          rng: np.random.Generator | None = None
+                          ) -> tuple[np.ndarray, np.ndarray]:
     """Coordinates and values of a random rank-3 tensor with the given density.
 
     Returned as ``(coords, values)`` with ``coords`` of shape (nnz, 3); a
     dense materialization would often be too large, so callers feed this
     directly into :meth:`StorageFormat.from_coo`.
     """
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed)
     nnz = int(round(density * dim1 * dim2 * dim3))
     nnz = max(1, nnz)
     coords = np.column_stack([
@@ -63,9 +124,10 @@ def random_sparse_tensor3(dim1: int, dim2: int, dim3: int, density: float, *,
     return coords, values
 
 
-def random_sparse_vector(size: int, density: float, *, seed: int = 0) -> np.ndarray:
+def random_sparse_vector(size: int, density: float, *, seed: int = 0,
+                         rng: np.random.Generator | None = None) -> np.ndarray:
     """A dense vector with approximately ``density * size`` non-zeros."""
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed)
     vector = np.zeros(size, dtype=np.float64)
     nnz = int(round(density * size))
     if nnz == 0:
@@ -75,9 +137,10 @@ def random_sparse_vector(size: int, density: float, *, seed: int = 0) -> np.ndar
     return vector
 
 
-def random_dense_vector(size: int, *, seed: int = 0) -> np.ndarray:
+def random_dense_vector(size: int, *, seed: int = 0,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
     """A fully dense random vector."""
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed)
     return rng.uniform(0.1, 1.0, size=size)
 
 

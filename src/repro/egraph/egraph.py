@@ -82,6 +82,13 @@ class EGraph:
         self._num_nodes = 0
         self._eager_terms = eager_terms
         self.unions_performed = 0
+        #: Nesting rank per collection-valued global symbol (logical tensors,
+        #: physical arrays / hash-maps / tries); symbols absent from the map
+        #: are treated as scalars.  Populated by the optimizer from the
+        #: catalog statistics; consumed by type-sensitive rule conditions
+        #: (e.g. the dict-factor rules, which are only sound for scalar
+        #: factors).
+        self.symbol_ranks: dict[str, int] = {}
 
     # -- basic queries --------------------------------------------------------
 

@@ -53,7 +53,7 @@ from ..sdqlite.ast import (
     Var,
 )
 from ..sdqlite.errors import ExecutionError
-from ..sdqlite.values import is_scalar, iter_items, lookup, v_add
+from ..sdqlite.values import is_scalar, is_zero, iter_items, lookup, v_add, v_mul
 
 __all__ = ["compile_plan", "CompiledPlan"]
 
@@ -64,24 +64,16 @@ __all__ = ["compile_plan", "CompiledPlan"]
 
 
 def _runtime_iter(value):
-    """Iterate (key, value) pairs of any physical collection."""
-    if isinstance(value, range):
-        return ((k, k) for k in value)
+    """Iterate (key, value) pairs of any physical collection.
+
+    Same semantics as :func:`repro.sdqlite.values.iter_items` (which handles
+    ``range`` and every dictionary-like), with one generated-code fast path:
+    1-D arrays iterate over ``tolist()`` to avoid per-element NumPy scalar
+    wrappers in the hot loop.
+    """
     if isinstance(value, np.ndarray) and value.ndim == 1:
         return enumerate(value.tolist())
     return iter_items(value)
-
-
-def _runtime_lookup(value, key, default=0):
-    if isinstance(value, range):
-        key = int(key)
-        return key if value.start <= key < value.stop else default
-    if isinstance(value, np.ndarray) and value.ndim == 1:
-        index = int(key)
-        if 0 <= index < value.shape[0]:
-            return value[index]
-        return default
-    return lookup(value, key, default)
 
 
 def _runtime_slice(value, lo, hi):
@@ -90,11 +82,18 @@ def _runtime_slice(value, lo, hi):
     if isinstance(value, np.ndarray) and value.ndim == 1:
         chunk = value[lo:hi].tolist()
         return zip(range(lo, hi), chunk)
-    return ((position, _runtime_lookup(value, position)) for position in range(lo, hi))
+    return ((position, lookup(value, position)) for position in range(lo, hi))
 
 
 def _add_into(accumulator, value):
-    """Accumulate ``value`` into ``accumulator`` (dictionaries merge in place)."""
+    """Accumulate ``value`` into ``accumulator`` (dictionaries merge in place).
+
+    Maintains the interpreter's ``SemiringDict`` invariant — a materialized
+    dictionary never holds zero values — by skipping zero insertions and
+    pruning entries that cancel to zero, so programs that *observe* keys
+    (e.g. ``sum(<k, v> in e) k``) agree across backends (found by the
+    differential fuzzer).
+    """
     if is_scalar(accumulator) and is_scalar(value):
         return accumulator + value
     if is_scalar(accumulator):
@@ -108,8 +107,12 @@ def _add_into(accumulator, value):
         raise ExecutionError("cannot add a non-zero scalar to a dictionary")
     for key, item in (value.items() if hasattr(value, "items") else iter_items(value)):
         if key in accumulator:
-            accumulator[key] = _add_into(accumulator[key], item)
-        else:
+            merged = _add_into(accumulator[key], item)
+            if is_zero(merged):
+                del accumulator[key]
+            else:
+                accumulator[key] = merged
+        elif not is_zero(item):
             accumulator[key] = _to_mutable(item)
     return accumulator
 
@@ -120,45 +123,24 @@ def _to_mutable(value):
     return value
 
 
-def _mul_values(left, right):
-    """Semiring multiplication used by generated code (scalars and dictionaries)."""
-    if is_scalar(left) and is_scalar(right):
-        return left * right
-    if is_scalar(left):
-        if left == 0:
-            return 0
-        return {key: _mul_values(left, item) for key, item in _runtime_iter(right)}
-    if is_scalar(right):
-        if right == 0:
-            return 0
-        return {key: _mul_values(item, right) for key, item in _runtime_iter(left)}
-    out = {}
-    right_map = dict(_runtime_iter(right))
-    for key, item in _runtime_iter(left):
-        if key in right_map:
-            out[key] = _mul_values(item, right_map[key])
-    return out
+def _singleton(key, value):
+    """``{ key -> value }`` with the zero-pruning of the reference semantics."""
+    if is_zero(value):
+        return {}
+    return {key: value}
 
 
-def _add_values(left, right):
-    if is_scalar(left) and is_scalar(right):
-        return left + right
-    return _add_into(_to_mutable_or_zero(left), right)
-
-
-def _to_mutable_or_zero(value):
-    if is_scalar(value):
-        return value
-    return _to_mutable(value)
-
-
+#: ``+`` and ``*`` in generated code delegate to the canonical semiring
+#: operations of :mod:`repro.sdqlite.values` — one definition of the
+#: overloaded arithmetic shared by every backend, so they cannot drift.
 RUNTIME = {
     "_iter": _runtime_iter,
-    "_lookup": _runtime_lookup,
+    "_lookup": lookup,
     "_slice": _runtime_slice,
     "_add_into": _add_into,
-    "_mul": _mul_values,
-    "_vadd": _add_values,
+    "_singleton": _singleton,
+    "_mul": v_mul,
+    "_vadd": v_add,
     "np": np,
 }
 
@@ -265,7 +247,7 @@ class _Compiler:
         if isinstance(expr, DictExpr):
             key = self.compile_expr(expr.key, env)
             value = self.compile_expr(expr.value, env)
-            return f"{{{key}: {value}}}"
+            return f"_singleton({key}, {value})"
         # Statement-level constructs used in expression position are compiled
         # into a temporary via a nested emission.
         if isinstance(expr, (IfThen, Let, Sum, Merge)):

@@ -1,0 +1,50 @@
+"""Differential fuzzing of the whole pipeline (see ``docs/testing.md``).
+
+The subsystem converts "scenarios we imagined" into "scenarios the machine
+imagines": random well-typed SDQLite programs over random catalog schemas
+(:mod:`~repro.fuzz.genprog`), random data satisfying every storage format's
+structural preconditions (:mod:`~repro.fuzz.gendata`), a differential oracle
+over the cross-product of execution backends × optimizer engines × format
+assignments (:mod:`~repro.fuzz.oracle`), a delta-debugging shrinker
+(:mod:`~repro.fuzz.shrink`), and a replayable regression corpus
+(:mod:`~repro.fuzz.corpus`, replayed by ``tests/test_corpus_replay.py``).
+
+Run a campaign from the command line::
+
+    PYTHONPATH=src python -m repro.fuzz --seed 1 --cases 1000 --out fuzz-failures
+"""
+
+from .corpus import load_corpus_case, render_corpus_case, write_corpus_case
+from .gendata import (
+    assign_formats,
+    build_catalog,
+    legal_format_names,
+    materialize_tensor,
+)
+from .genprog import ProgramGenerator, Schema, TensorSpec, generate_program, generate_schema
+from .oracle import (
+    FUZZ_OPTIMIZER_OPTIONS,
+    CampaignReport,
+    CaseSkipped,
+    Divergence,
+    FuzzCase,
+    OracleConfig,
+    campaign,
+    canonical,
+    case_seed,
+    check_case,
+    generate_case,
+    replay,
+    results_match,
+)
+from .shrink import shrink_case
+
+__all__ = [
+    "ProgramGenerator", "Schema", "TensorSpec", "generate_program", "generate_schema",
+    "assign_formats", "build_catalog", "legal_format_names", "materialize_tensor",
+    "FUZZ_OPTIMIZER_OPTIONS", "CampaignReport", "CaseSkipped", "Divergence",
+    "FuzzCase", "OracleConfig", "campaign", "canonical", "case_seed",
+    "check_case", "generate_case", "replay", "results_match",
+    "shrink_case",
+    "load_corpus_case", "render_corpus_case", "write_corpus_case",
+]

@@ -1,0 +1,71 @@
+"""Command-line driver for differential fuzz campaigns.
+
+Examples::
+
+    # a quick local smoke run
+    PYTHONPATH=src python -m repro.fuzz --seed 1 --cases 200
+
+    # a long overnight campaign, shrinking failures into fuzz-failures/
+    PYTHONPATH=src python -m repro.fuzz --seed 1 --cases 100000 \\
+        --out fuzz-failures --legacy-every 4
+
+Exits non-zero when any divergence is found; shrunk repro files written to
+``--out`` are ready to be copied into ``tests/corpus/`` as permanent
+regression tests once the underlying bug is fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .oracle import campaign
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing: random SDQLite programs x formats "
+                    "x backends x optimizer engines.")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="master seed; every case derives from it (default 1)")
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of generated cases (default 200)")
+    parser.add_argument("--fuel", type=int, default=14,
+                        help="program-size budget per case (default 14)")
+    parser.add_argument("--legacy-every", type=int, default=4, metavar="K",
+                        help="also run the legacy saturation engine every "
+                             "K-th case; 0 disables (default 4)")
+    parser.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                        help="stop cleanly after this much wall-clock time")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write shrunk failures into DIR as corpus files")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report raw failures without delta-debugging them")
+    parser.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many divergences (default 5)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-50-case progress lines")
+    args = parser.parse_args(argv)
+
+    report = campaign(
+        args.seed, args.cases,
+        legacy_every=args.legacy_every,
+        shrink=not args.no_shrink,
+        out_dir=args.out,
+        time_budget=args.time_budget,
+        max_failures=args.max_failures,
+        progress=not args.quiet,
+        case_options={"fuel": args.fuel},
+    )
+    print(report.summary())
+    for divergence in report.divergences:
+        print("\n--- divergence " + "-" * 50)
+        print(divergence.describe())
+    for path in report.corpus_paths:
+        print(f"shrunk repro written to {path}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

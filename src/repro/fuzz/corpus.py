@@ -1,0 +1,74 @@
+"""Serialization of shrunk fuzz failures into a replayable corpus.
+
+A corpus file is a tiny, self-contained Python module — no imports, just
+data — describing one (program, data, format-assignment) point and the
+configurations it once diverged under::
+
+    \"\"\"Shrunk fuzz repro (seed 42): greedy/vectorize diverged from reference.\"\"\"
+    PROGRAM = "sum(<k1, v1> in T0) { k1 -> v1 * 2 }"
+    TENSORS = {"T0": [[0.0, 1.0], [1.0, 0.0]]}
+    FORMATS = {"T0": "csr"}
+    SCALARS = {}
+    CONFIGS = [("greedy", "vectorize")]
+
+Files under ``tests/corpus/`` are replayed by ``tests/test_corpus_replay.py``
+on every tier-1 run: a shrunk failure, once fixed, becomes a permanent
+regression test by copying the file there (see ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import numpy as np
+
+from ..sdqlite.parser import parse_expr
+from .oracle import Divergence, FuzzCase
+
+
+def render_corpus_case(divergence: Divergence) -> str:
+    """The corpus-file source text for a (normally shrunk) divergence."""
+    case = divergence.case
+    what = (f"raised {divergence.error}" if divergence.error is not None
+            else "diverged from the reference result")
+    lines = [
+        f'"""Shrunk fuzz repro (seed {case.seed}): '
+        f'{divergence.method}/{divergence.backend} {what}."""',
+        f"PROGRAM = {case.source!r}",
+        "TENSORS = {" + ", ".join(
+            f"{name!r}: {np.asarray(array, dtype=np.float64).tolist()!r}"
+            for name, array in sorted(case.tensors.items())) + "}",
+        f"FORMATS = {dict(sorted(case.formats.items()))!r}",
+        f"SCALARS = {dict(sorted(case.scalars.items()))!r}",
+        f"CONFIGS = [({divergence.method!r}, {divergence.backend!r})]",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def write_corpus_case(divergence: Divergence, directory: str | pathlib.Path
+                      ) -> pathlib.Path:
+    """Serialize a divergence into ``directory`` and return the file path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = (f"fuzz_seed{divergence.case.seed}_{divergence.method}_"
+            f"{divergence.backend}.py")
+    path = directory / name
+    path.write_text(render_corpus_case(divergence))
+    return path
+
+
+def load_corpus_case(path: str | pathlib.Path
+                     ) -> tuple[FuzzCase, list[tuple[str, str]]]:
+    """Load a corpus file back into a :class:`FuzzCase` plus its configs."""
+    spec = runpy.run_path(str(path))
+    case = FuzzCase(
+        seed=0,
+        program=parse_expr(spec["PROGRAM"]),
+        tensors={name: np.asarray(data, dtype=np.float64)
+                 for name, data in spec["TENSORS"].items()},
+        formats=dict(spec["FORMATS"]),
+        scalars=dict(spec.get("SCALARS", {})),
+    )
+    configs = [tuple(pair) for pair in spec.get("CONFIGS", [])]
+    return case, configs

@@ -1,0 +1,77 @@
+"""Random data generation and storage-format assignment for fuzz cases.
+
+Builds on :mod:`repro.data.synthetic` (every generator there takes an
+explicit ``rng``, so a whole case derives from one master seed).  The format
+layer is *precondition-aware*: a tensor's dense data is fabricated first
+(with a structure class drawn by the schema generator — general, lower
+triangular, tridiagonal, power-of-two square), then the set of formats that
+can legally store it is computed from the same
+:meth:`~repro.storage.formats.StorageFormat.candidates_for` legality rules
+the advisor uses.  Drawing assignments from that set means every legal
+format — including the special formats of Sec. 4 — is exercised, and no
+illegal (format, data) pair is ever constructed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+import numpy as np
+
+from ..data.synthetic import random_dense_tensor, random_structured_matrix
+from ..storage.catalog import Catalog
+from ..storage.convert import ALL_FORMATS
+from ..storage.formats import DenseFormat, TensorStats
+from .genprog import Schema, TensorSpec
+
+
+def materialize_tensor(spec: TensorSpec, rng: np.random.Generator) -> np.ndarray:
+    """Fabricate dense data for ``spec``, honouring its structure class."""
+    if spec.rank == 2 and spec.structure != "general":
+        return random_structured_matrix(spec.shape[0], spec.density,
+                                        structure=spec.structure, rng=rng)
+    return random_dense_tensor(spec.shape, spec.density, rng=rng)
+
+
+def legal_format_names(array: np.ndarray) -> list[str]:
+    """Every format (general and special) that can legally store ``array``.
+
+    Computed from the per-format :meth:`candidates_for` legality rules over
+    the tensor's :class:`~repro.storage.formats.TensorStats`, i.e. exactly
+    the candidate set the workload advisor would enumerate.
+    """
+    stats = TensorStats.of(DenseFormat("probe", array))
+    return sorted(name for name, cls in ALL_FORMATS.items()
+                  if cls.candidates_for(stats))
+
+
+def assign_formats(tensors: Mapping[str, np.ndarray],
+                   rng: random.Random) -> dict[str, str]:
+    """Draw one legal storage format per tensor."""
+    return {name: rng.choice(legal_format_names(array))
+            for name, array in tensors.items()}
+
+
+def materialize_schema(schema: Schema,
+                       rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """Dense data for every tensor of ``schema``."""
+    return {spec.name: materialize_tensor(spec, rng) for spec in schema.tensors}
+
+
+def generate_scalars(schema: Schema, rng: random.Random) -> dict[str, float]:
+    """Values for the schema's global scalars (occasionally zero or negative)."""
+    return {name: rng.choice([0.0, 0.5, 1.0, 2.0, -1.5, 3.0])
+            for name in schema.scalars}
+
+
+def build_catalog(tensors: Mapping[str, np.ndarray], formats: Mapping[str, str],
+                  scalars: Mapping[str, float]) -> Catalog:
+    """Register every tensor in its assigned format, plus the scalars."""
+    catalog = Catalog()
+    for name, array in tensors.items():
+        catalog.add(ALL_FORMATS[formats[name]].from_dense(name, np.asarray(array,
+                                                                           dtype=np.float64)))
+    for name, value in scalars.items():
+        catalog.add_scalar(name, value)
+    return catalog

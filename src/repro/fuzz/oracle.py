@@ -1,0 +1,403 @@
+"""The differential oracle: one program, every backend × engine × format.
+
+The paper's central equivalence claim is that the *same* tensor program
+produces the *same* result under any storage format and any execution
+strategy — only cost differs.  This module checks that claim mechanically on
+machine-generated scenarios:
+
+* a :class:`FuzzCase` is one sampled point — a generated program
+  (:mod:`repro.fuzz.genprog`), fabricated tensor data and a legal per-tensor
+  format assignment (:mod:`repro.fuzz.gendata`), plus the scalar bindings;
+* :func:`check_case` executes the point under the cross-product of execution
+  backends (``interpret`` / ``compile`` / ``vectorize``) and optimizer
+  engines — the plain composed plan (``unoptimized``), the greedy strategy
+  picker (``greedy``), equality saturation on the fast engine (``egraph``)
+  and on the legacy engine (``egraph-legacy``) — and compares every result
+  against the reference (unoptimized plan on the interpreter) after a single
+  canonical value-normalization;
+* :func:`campaign` drives a seeded run of many cases, shrinking and
+  serializing any divergence into a replayable corpus file
+  (:mod:`repro.fuzz.shrink` / :mod:`repro.fuzz.corpus`).
+
+Value normalization and comparison live *here*, in exactly one place
+(:func:`canonical` / :func:`results_match`): results are reduced to plain
+nested dicts with near-zero entries pruned, and compared with float
+tolerance treating a missing key as zero — so a backend materializing an
+explicit ``1e-17`` where another prunes an exact ``0.0`` does not produce a
+spurious divergence, while any structural or numeric disagreement beyond
+rounding does.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..core import LEGACY_ENGINE, compose
+from ..execution.engine import ExecutionEngine
+from ..sdqlite.ast import Expr
+from ..sdqlite.debruijn import to_debruijn_safe
+from ..sdqlite.pretty import to_source
+from ..sdqlite.values import is_scalar, to_plain
+from ..session import Session
+from .gendata import (
+    assign_formats,
+    build_catalog,
+    generate_scalars,
+    materialize_schema,
+)
+from .genprog import generate_program, generate_schema
+
+#: The configuration every other one is compared against: the naive composed
+#: plan, executed by the reference interpreter.
+REFERENCE = ("unoptimized", "interpret")
+
+#: Saturation limits used during fuzzing: small enough that the e-graph
+#: engines keep up with thousands of generated programs, large enough that
+#: the rewrite rules genuinely fire.  The *time* limit is deliberately huge:
+#: campaigns must be reproducible from their seed alone, so saturation has
+#: to stop on the deterministic iteration/node limits, never on wall-clock
+#: (a load-dependent stop changes the e-graph, and with it the extracted
+#: plan, between two runs of the same seed).
+FUZZ_OPTIMIZER_OPTIONS: dict = {
+    "iter_limit": 3,
+    "node_limit": 800,
+    "time_limit": 3600.0,
+    "match_limit_per_rule": 64,
+}
+
+
+class CaseSkipped(Exception):
+    """Raised when the *reference* execution of a case fails.
+
+    The generator aims never to produce such programs; the campaign counts
+    these separately instead of reporting a divergence, because with no
+    reference value there is nothing to differ from.
+    """
+
+
+@dataclass
+class FuzzCase:
+    """One generated (program, data, format-assignment) point."""
+
+    seed: int
+    program: Expr                      # named-form AST over logical names
+    tensors: dict[str, np.ndarray]     # dense data per logical tensor
+    formats: dict[str, str]            # format_name per logical tensor
+    scalars: dict[str, float]
+
+    @property
+    def source(self) -> str:
+        """The program as re-parseable SDQLite source text."""
+        return to_source(self.program)
+
+    def replace(self, **changes) -> "FuzzCase":
+        """A shallow-copied case with the given fields replaced."""
+        fields_ = dict(seed=self.seed, program=self.program,
+                       tensors=dict(self.tensors), formats=dict(self.formats),
+                       scalars=dict(self.scalars))
+        fields_.update(changes)
+        return FuzzCase(**fields_)
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Which (engine, backend) pairs to run and how to compare results."""
+
+    backends: tuple[str, ...] = ("interpret", "compile", "vectorize")
+    methods: tuple[str, ...] = ("unoptimized", "greedy", "egraph")
+    optimizer_options: Mapping[str, Any] = field(
+        default_factory=lambda: dict(FUZZ_OPTIMIZER_OPTIONS))
+    rel_tol: float = 1e-6
+    abs_tol: float = 1e-9
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """The full engine × backend grid, reference first."""
+        grid = [(method, backend) for method in self.methods
+                for backend in self.backends]
+        return [pair for pair in grid if pair != REFERENCE]
+
+    def with_legacy(self) -> "OracleConfig":
+        """This configuration plus the legacy saturation engine."""
+        if "egraph-legacy" in self.methods:
+            return self
+        return OracleConfig(backends=self.backends,
+                            methods=self.methods + ("egraph-legacy",),
+                            optimizer_options=dict(self.optimizer_options),
+                            rel_tol=self.rel_tol, abs_tol=self.abs_tol)
+
+
+@dataclass
+class Divergence:
+    """The first disagreement found for a case."""
+
+    case: FuzzCase
+    method: str
+    backend: str
+    expected: Any = None
+    actual: Any = None
+    error: str | None = None
+
+    def describe(self) -> str:
+        head = (f"seed={self.case.seed} {self.method}/{self.backend} "
+                f"formats={self.case.formats}")
+        if self.error is not None:
+            return f"{head}\n  raised: {self.error}\n  program: {self.case.source}"
+        return (f"{head}\n  expected: {self.expected!r}\n  actual:   "
+                f"{self.actual!r}\n  program: {self.case.source}")
+
+
+# ---------------------------------------------------------------------------
+# case generation
+# ---------------------------------------------------------------------------
+
+
+def generate_case(seed: int, *, fuel: int = 14, max_tensors: int = 3,
+                  max_rank: int = 3, max_dim: int = 5,
+                  weird_key_chance: float = 0.05) -> FuzzCase:
+    """Generate one case; everything derives from the single ``seed``."""
+    rng = random.Random(seed)
+    schema = generate_schema(rng, max_tensors=max_tensors, max_rank=max_rank,
+                             max_dim=max_dim)
+    program = generate_program(schema, rng, fuel=fuel,
+                               weird_key_chance=weird_key_chance)
+    np_rng = np.random.default_rng(rng.getrandbits(64))
+    tensors = materialize_schema(schema, np_rng)
+    formats = assign_formats(tensors, rng)
+    scalars = generate_scalars(schema, rng)
+    return FuzzCase(seed=seed, program=program, tensors=tensors,
+                    formats=formats, scalars=scalars)
+
+
+# ---------------------------------------------------------------------------
+# canonical value normalization (the oracle's single comparison layer)
+# ---------------------------------------------------------------------------
+
+
+def canonical(value: Any, *, abs_tol: float = 1e-9) -> Any:
+    """Reduce an execution result to a canonical plain form.
+
+    Plain Python numbers and nested dicts (via
+    :func:`~repro.sdqlite.values.to_plain`), with entries whose canonical
+    value is zero — below ``abs_tol`` for scalars, empty for dictionaries —
+    pruned recursively, so explicit near-zeros cannot distinguish two
+    otherwise equal results.
+    """
+    plain = to_plain(value)
+    return _prune(plain, abs_tol)
+
+
+def _prune(plain: Any, abs_tol: float) -> Any:
+    if isinstance(plain, dict):
+        out = {}
+        for key, item in plain.items():
+            pruned = _prune(item, abs_tol)
+            if isinstance(pruned, dict):
+                if pruned:
+                    out[key] = pruned
+            elif abs(pruned) > abs_tol:
+                out[key] = pruned
+        return out
+    if isinstance(plain, bool):
+        return int(plain)
+    return plain
+
+
+def results_match(left: Any, right: Any, *, rel_tol: float = 1e-6,
+                  abs_tol: float = 1e-9) -> bool:
+    """Tolerant structural equality of two canonical results.
+
+    Missing dictionary keys count as zero, and a scalar ``~0`` equals an
+    empty dictionary (SDQLite identifies the two).
+    """
+    left_scalar = is_scalar(left)
+    right_scalar = is_scalar(right)
+    if left_scalar and right_scalar:
+        return bool(abs(left - right)
+                    <= max(abs_tol, rel_tol * max(abs(left), abs(right))))
+    if left_scalar:
+        return abs(left) <= abs_tol and _effectively_zero(right, abs_tol)
+    if right_scalar:
+        return abs(right) <= abs_tol and _effectively_zero(left, abs_tol)
+    keys = set(left) | set(right)
+    return all(results_match(left.get(key, 0), right.get(key, 0),
+                             rel_tol=rel_tol, abs_tol=abs_tol)
+               for key in keys)
+
+
+def _effectively_zero(value: Any, abs_tol: float) -> bool:
+    if is_scalar(value):
+        return abs(value) <= abs_tol
+    return all(_effectively_zero(item, abs_tol) for item in value.values())
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+class _CaseRunner:
+    """Executes one case under every configuration, sharing work.
+
+    The catalog is built once; the naive composed plan is computed once; one
+    :class:`~repro.session.Session` serves all optimized configurations, so
+    each optimizer engine runs once per case and its chosen plan is then
+    executed on each backend.
+    """
+
+    def __init__(self, case: FuzzCase, config: OracleConfig):
+        self.case = case
+        self.config = config
+        self.catalog = build_catalog(case.tensors, case.formats, case.scalars)
+        self.session = Session(self.catalog,
+                               optimizer_options=dict(config.optimizer_options))
+        self._naive: Expr | None = None
+
+    def naive_plan(self) -> Expr:
+        if self._naive is None:
+            program = to_debruijn_safe(self.case.program)
+            mappings = {name: to_debruijn_safe(mapping)
+                        for name, mapping in self.catalog.mappings().items()}
+            self._naive = compose(program, mappings)
+        return self._naive
+
+    def run(self, method: str, backend: str) -> Any:
+        if method == "unoptimized":
+            engine = ExecutionEngine.for_catalog(self.catalog, backend=backend)
+            return engine.run(self.naive_plan())
+        if method == "egraph-legacy":
+            options = dict(self.config.optimizer_options)
+            options.update(LEGACY_ENGINE)
+            return self.session.run(self.case.program, method="egraph",
+                                    backend=backend, optimizer_options=options)
+        return self.session.run(self.case.program, method=method, backend=backend)
+
+
+def check_case(case: FuzzCase,
+               config: OracleConfig | None = None) -> Divergence | None:
+    """Run ``case`` under every configuration; return the first divergence.
+
+    Raises :class:`CaseSkipped` when the reference itself fails — such a
+    case carries no signal.  Returns ``None`` when every configuration
+    agrees with the reference.
+    """
+    config = config or OracleConfig()
+    runner = _CaseRunner(case, config)
+    try:
+        reference = canonical(runner.run(*REFERENCE), abs_tol=config.abs_tol)
+    except Exception as exc:  # noqa: BLE001 - reference failures end the case
+        raise CaseSkipped(f"reference execution failed: {exc!r}") from exc
+    for method, backend in config.pairs():
+        try:
+            actual = canonical(runner.run(method, backend),
+                               abs_tol=config.abs_tol)
+        except Exception as exc:  # noqa: BLE001 - any error is a divergence
+            return Divergence(case, method, backend,
+                              error=f"{type(exc).__name__}: {exc}")
+        if not results_match(reference, actual, rel_tol=config.rel_tol,
+                             abs_tol=config.abs_tol):
+            return Divergence(case, method, backend,
+                              expected=reference, actual=actual)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# campaigns
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignReport:
+    """Summary of one seeded fuzz run."""
+
+    seed: int
+    cases_run: int = 0
+    skipped: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    corpus_paths: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.divergences)} DIVERGENCE(S)"
+        return (f"fuzz campaign seed={self.seed}: {self.cases_run} cases, "
+                f"{self.skipped} skipped, {status} in {self.elapsed:.1f}s")
+
+
+def case_seed(master_seed: int, index: int) -> int:
+    """The per-case seed of case ``index`` of a campaign (stable contract)."""
+    return master_seed * 1_000_000_007 + index
+
+
+def campaign(seed: int, cases: int, *, config: OracleConfig | None = None,
+             legacy_every: int = 4, shrink: bool = True,
+             out_dir: str | None = None, time_budget: float | None = None,
+             max_failures: int = 5, progress: bool = False,
+             case_options: Mapping[str, Any] | None = None) -> CampaignReport:
+    """Run a seeded differential fuzz campaign of ``cases`` generated points.
+
+    Every ``legacy_every``-th case additionally runs the legacy saturation
+    engine (0 disables it).  Divergent cases are delta-debugged to a minimal
+    repro (``shrink=True``) and, when ``out_dir`` is given, serialized there
+    as self-contained corpus files.  ``time_budget`` (seconds) bounds the
+    wall-clock of CI smoke runs; the campaign stops cleanly when exceeded.
+    """
+    from .corpus import write_corpus_case
+    from .shrink import shrink_case
+
+    base_config = config or OracleConfig()
+    report = CampaignReport(seed=seed)
+    start = time.perf_counter()
+    options = dict(case_options or {})
+    for index in range(cases):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        case = generate_case(case_seed(seed, index), **options)
+        case_config = base_config
+        if legacy_every and index % legacy_every == 0:
+            case_config = base_config.with_legacy()
+        try:
+            divergence = check_case(case, case_config)
+        except CaseSkipped:
+            report.skipped += 1
+            report.cases_run += 1
+            continue
+        report.cases_run += 1
+        if divergence is not None:
+            if shrink:
+                divergence = shrink_case(divergence, case_config)
+            report.divergences.append(divergence)
+            if out_dir is not None:
+                report.corpus_paths.append(
+                    str(write_corpus_case(divergence, out_dir)))
+            if len(report.divergences) >= max_failures:
+                break
+        if progress and (index + 1) % 50 == 0:
+            elapsed = time.perf_counter() - start
+            print(f"  [{index + 1}/{cases}] {elapsed:.1f}s "
+                  f"({report.skipped} skipped, "
+                  f"{len(report.divergences)} divergences)")
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def replay(case: FuzzCase, configs: Iterable[tuple[str, str]] | None = None,
+           **tolerances) -> Divergence | None:
+    """Re-check a (possibly corpus-loaded) case under the given config pairs."""
+    if configs is None:
+        return check_case(case)
+    configs = list(configs)
+    methods = tuple(dict.fromkeys(method for method, _ in configs))
+    backends = tuple(dict.fromkeys(backend for _, backend in configs))
+    config = OracleConfig(backends=backends,
+                          methods=("unoptimized",) + tuple(
+                              m for m in methods if m != "unoptimized"),
+                          **tolerances)
+    return check_case(case, config)

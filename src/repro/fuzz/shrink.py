@@ -1,0 +1,206 @@
+"""Delta-debugging shrinker for divergent fuzz cases.
+
+A raw divergence from :func:`repro.fuzz.oracle.campaign` is rarely readable:
+a 40-node program over three tensors in exotic formats.  This module
+minimizes it while preserving the failure, using the oracle itself as the
+test predicate — a candidate reduction is kept only if the *shrunk* case
+still diverges under the same (engine, backend) configuration (a reduction
+that makes the reference fail, e.g. by unbinding a variable, self-rejects).
+
+Passes, iterated to a fixed point under a global evaluation budget:
+
+1. **program** — every subexpression is tentatively replaced by one of its
+   own children (hoisting) or by ``0`` / ``1``;
+2. **tensor data** — whole tensors zeroed, then single non-zero entries
+   zeroed, then surviving values snapped to ``1.0``;
+3. **scalars** — snapped to ``1.0`` / ``0.0``;
+4. **formats** — swapped to ``dense`` (keeping the failure format-specific
+   only when it really is);
+5. **garbage collection** — tensors and scalars the program no longer
+   references are dropped.
+
+The result plugs into :func:`repro.fuzz.corpus.write_corpus_case`, which
+serializes it as a self-contained, replayable regression test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..sdqlite.ast import Const, Expr, children, node_count, rebuild, symbols
+from .oracle import CaseSkipped, Divergence, FuzzCase, OracleConfig, check_case
+
+
+def narrow_config(config: OracleConfig, divergence: Divergence) -> OracleConfig:
+    """Restrict ``config`` to the reference plus the one diverging pair."""
+    methods = ("unoptimized",)
+    if divergence.method != "unoptimized":
+        methods = methods + (divergence.method,)
+    return OracleConfig(backends=(divergence.backend,), methods=methods,
+                        optimizer_options=dict(config.optimizer_options),
+                        rel_tol=config.rel_tol, abs_tol=config.abs_tol)
+
+
+# ---------------------------------------------------------------------------
+# AST surgery
+# ---------------------------------------------------------------------------
+
+
+def _paths(expr: Expr, prefix: tuple[int, ...] = ()) -> list[tuple[tuple[int, ...], Expr]]:
+    """Breadth-ish enumeration of (path, node); shallow nodes first."""
+    out = [(prefix, expr)]
+    for index, child in enumerate(children(expr)):
+        out.extend(_paths(child, prefix + (index,)))
+    out.sort(key=lambda item: len(item[0]))
+    return out
+
+
+def _replace_at(expr: Expr, path: tuple[int, ...], replacement: Expr) -> Expr:
+    if not path:
+        return replacement
+    kids = list(children(expr))
+    kids[path[0]] = _replace_at(kids[path[0]], path[1:], replacement)
+    return rebuild(expr, kids)
+
+
+# ---------------------------------------------------------------------------
+# the shrinking loop
+# ---------------------------------------------------------------------------
+
+
+class _Budget:
+    def __init__(self, evaluations: int):
+        self.remaining = evaluations
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _still_fails(case: FuzzCase, config: OracleConfig, budget: _Budget) -> bool:
+    if not budget.spend():
+        return False
+    try:
+        return check_case(case, config) is not None
+    except CaseSkipped:
+        return False
+
+
+def _shrink_program(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
+    changed = True
+    while changed:
+        changed = False
+        for path, node in _paths(case.program):
+            candidates: list[Expr] = [child for child in children(node)]
+            if not isinstance(node, Const):
+                candidates.extend([Const(0), Const(1)])
+            for candidate in candidates:
+                if candidate == node:
+                    continue
+                shrunk = _replace_at(case.program, path, candidate)
+                if node_count(shrunk) >= node_count(case.program):
+                    continue
+                attempt = case.replace(program=shrunk)
+                if fails(attempt):
+                    case = attempt
+                    changed = True
+                    break
+            if changed:
+                break
+    return case
+
+
+def _shrink_tensors(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
+    for name in list(case.tensors):
+        array = case.tensors[name]
+        zeroed = case.replace(tensors={**case.tensors,
+                                       name: np.zeros_like(array)})
+        if fails(zeroed):
+            case = zeroed
+            continue
+        # Zero out individual entries, then snap survivors to 1.0.
+        current = np.array(array, dtype=np.float64)
+        for coordinate in np.argwhere(current != 0)[:32]:
+            attempt_array = np.array(current)
+            attempt_array[tuple(coordinate)] = 0.0
+            attempt = case.replace(tensors={**case.tensors, name: attempt_array})
+            if fails(attempt):
+                current = attempt_array
+                case = attempt
+        ones = np.array(current)
+        ones[ones != 0] = 1.0
+        attempt = case.replace(tensors={**case.tensors, name: ones})
+        if fails(attempt):
+            case = attempt
+    return case
+
+
+def _shrink_scalars(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
+    for name in list(case.scalars):
+        for value in (1.0, 0.0):
+            if case.scalars[name] == value:
+                continue
+            attempt = case.replace(scalars={**case.scalars, name: value})
+            if fails(attempt):
+                case = attempt
+                break
+    return case
+
+
+def _shrink_formats(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
+    for name, fmt in list(case.formats.items()):
+        if fmt == "dense":
+            continue
+        attempt = case.replace(formats={**case.formats, name: "dense"})
+        if fails(attempt):
+            case = attempt
+    return case
+
+
+def _drop_unreferenced(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
+    referenced = symbols(case.program)
+    tensors = {name: array for name, array in case.tensors.items()
+               if name in referenced}
+    scalars = {name: value for name, value in case.scalars.items()
+               if name in referenced}
+    if len(tensors) == len(case.tensors) and len(scalars) == len(case.scalars):
+        return case
+    attempt = case.replace(tensors=tensors,
+                           formats={name: case.formats[name] for name in tensors},
+                           scalars=scalars)
+    return attempt if fails(attempt) else case
+
+
+def shrink_case(divergence: Divergence, config: OracleConfig | None = None, *,
+                max_evaluations: int = 600) -> Divergence:
+    """Minimize a divergent case; returns the re-checked, shrunk divergence.
+
+    The predicate is "still diverges under the original failing
+    (engine, backend) pair"; ``max_evaluations`` bounds the number of oracle
+    executions spent.  If shrinking loses the failure (e.g. a flaky budget
+    exhaustion), the original divergence is returned unchanged.
+    """
+    narrow = narrow_config(config or OracleConfig(), divergence)
+    budget = _Budget(max_evaluations)
+    fails = lambda case: _still_fails(case, narrow, budget)  # noqa: E731
+
+    case = divergence.case
+    previous_size = None
+    while previous_size != node_count(case.program):
+        previous_size = node_count(case.program)
+        case = _shrink_program(case, fails)
+        case = _shrink_tensors(case, fails)
+        case = _shrink_scalars(case, fails)
+        case = _shrink_formats(case, fails)
+        case = _drop_unreferenced(case, fails)
+        if budget.remaining <= 0:
+            break
+    try:
+        shrunk = check_case(case, narrow)
+    except CaseSkipped:
+        shrunk = None
+    return shrunk if shrunk is not None else divergence

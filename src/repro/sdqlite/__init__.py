@@ -64,7 +64,7 @@ from .parser import (
     parse_expr,
     parse_program,
 )
-from .pretty import pretty
+from .pretty import pretty, to_source
 from .values import SemiringDict, to_plain, values_equal
 
 __all__ = [
@@ -78,6 +78,6 @@ __all__ = [
     "Environment", "evaluate",
     "ArrayDecl", "HashMapDecl", "ScalarDecl", "TensorDecl", "TrieDecl",
     "parse_expr", "parse_program",
-    "pretty",
+    "pretty", "to_source",
     "SemiringDict", "to_plain", "values_equal",
 ]

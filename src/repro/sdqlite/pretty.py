@@ -64,6 +64,24 @@ def pretty(expr: Expr, *, resolve_indices: bool = True, indent: bool = False) ->
     return printer.emit(expr, 0, 0)
 
 
+def to_source(expr: Expr) -> str:
+    """Render a *named-form* expression as re-parseable SDQLite source.
+
+    The contract — relied upon by the fuzzer's program generator
+    (:mod:`repro.fuzz.genprog`) and checked by its round-trip tests — is::
+
+        parse_expr(to_source(e)) == e
+
+    for every named-form expression whose bound variable names are distinct
+    from each other and from global symbol names, and whose constants are
+    non-negative (a negative literal re-parses as :class:`~.ast.Neg` of a
+    positive one; build ``Neg`` explicitly instead).  Nameless (De Bruijn)
+    expressions are first resolved to fresh names, which preserves semantics
+    but not node-for-node equality.
+    """
+    return pretty(expr, resolve_indices=True, indent=False)
+
+
 def _has_idx(expr: Expr) -> bool:
     from .ast import postorder
 

@@ -32,8 +32,20 @@ def is_scalar(value: Any) -> bool:
 
 
 def is_dictlike(value: Any) -> bool:
-    """True for values that can be iterated as key/value pairs."""
-    return isinstance(value, (SemiringDict, RangeDict, SliceDict, dict, np.ndarray))
+    """True for values that can be iterated as key/value pairs.
+
+    Besides the interpreter's own value types this accepts ``range`` (the
+    compile backend's unmaterialized ``lo:hi``) and any object exposing
+    ``items`` — notably the physical collections
+    (:class:`~repro.storage.physical.PhysicalHashMap` /
+    :class:`~repro.storage.physical.PhysicalTrie`), which optimized plans
+    can legitimately feed straight into ``+`` / ``*`` (found by the
+    differential fuzzer: ``A + B`` over two tries must not depend on
+    whether the optimizer fused the storage mappings away).
+    """
+    if isinstance(value, (SemiringDict, RangeDict, SliceDict, dict, np.ndarray, range)):
+        return True
+    return not is_scalar(value) and hasattr(value, "items")
 
 
 class SemiringDict:
@@ -116,6 +128,23 @@ def _sort_key(item):
     return (str(type(key)), key if not isinstance(key, tuple) else key)
 
 
+def integral_index(key):
+    """``int(key)`` when ``key`` is an integral number, else ``None``.
+
+    The shared guard for every *positional* container (arrays, ranges,
+    slices): their keys are exactly the integers, so a non-integral key like
+    ``0.5`` must miss — not truncate to index 0 (a divergence between the
+    dict-backed and array-backed representations of the same tensor, found
+    by the differential fuzzer).
+    """
+    if isinstance(key, (bool, np.bool_, int, np.integer)):
+        return int(key)
+    if isinstance(key, (float, np.floating)):
+        as_float = float(key)
+        return int(as_float) if as_float.is_integer() else None
+    return None
+
+
 class RangeDict:
     """The lazy dictionary ``lo:hi = {lo -> lo, ..., hi-1 -> hi-1}``."""
 
@@ -130,8 +159,9 @@ class RangeDict:
             yield key, key
 
     def get(self, key, default=0):
-        if self.lo <= key < self.hi:
-            return key
+        index = integral_index(key)
+        if index is not None and self.lo <= index < self.hi:
+            return index
         return default
 
     def __len__(self):
@@ -156,8 +186,9 @@ class SliceDict:
             yield key, lookup(self.target, key)
 
     def get(self, key, default=0):
-        if self.lo <= key < self.hi:
-            return lookup(self.target, key)
+        index = integral_index(key)
+        if index is not None and self.lo <= index < self.hi:
+            return lookup(self.target, index)
         return default
 
     def __len__(self):
@@ -178,6 +209,9 @@ def iter_items(value) -> Iterator[tuple[Any, Any]]:
         yield from value.items()
     elif isinstance(value, dict):
         yield from value.items()
+    elif isinstance(value, range):
+        for key in value:
+            yield key, key
     elif isinstance(value, np.ndarray):
         if value.ndim == 1:
             for index, item in enumerate(value):
@@ -200,8 +234,8 @@ def iter_items(value) -> Iterator[tuple[Any, Any]]:
 def lookup(value, key, default=0):
     """``value(key)`` with missing keys defaulting to 0 (or an empty dictionary)."""
     if isinstance(value, np.ndarray):
-        index = int(key)
-        if 0 <= index < value.shape[0]:
+        index = integral_index(key)
+        if index is not None and 0 <= index < value.shape[0]:
             item = value[index]
             return item
         return default
@@ -209,6 +243,10 @@ def lookup(value, key, default=0):
         return value.get(key, default)
     if isinstance(value, dict):
         return value.get(key, default)
+    if isinstance(value, range):
+        index = integral_index(key)
+        return index if index is not None and value.start <= index < value.stop \
+            else default
     if hasattr(value, "get"):
         return value.get(key, default)
     if is_scalar(value):
@@ -232,6 +270,12 @@ def is_zero(value) -> bool:
         return bool(np.all(value == 0))
     if isinstance(value, (RangeDict, SliceDict)):
         return len(value) == 0
+    if isinstance(value, range):
+        return len(value) == 0
+    if hasattr(value, "items"):
+        # Physical collections (hash-maps, tries) prune zeros at
+        # construction, so this is effectively an emptiness check.
+        return all(is_zero(item) for _, item in value.items())
     return False
 
 

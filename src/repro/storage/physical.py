@@ -21,6 +21,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from ..sdqlite.errors import StorageError
+from ..sdqlite.values import integral_index
 
 #: Collection kinds distinguished by the cost model.
 KIND_ARRAY = "array"
@@ -76,8 +77,10 @@ class PhysicalArray:
             yield index, value
 
     def get(self, key, default=0):
-        index = int(key)
-        if 0 <= index < self.data.shape[0]:
+        # Integer-keyed container: a non-integral key misses rather than
+        # truncating (the shared rule of values.integral_index).
+        index = integral_index(key)
+        if index is not None and 0 <= index < self.data.shape[0]:
             return self.data[index]
         return default
 
@@ -125,7 +128,8 @@ class PhysicalHashMap:
         return iter(self._nested.items())
 
     def get(self, key, default=0):
-        return self._nested.get(int(key), default)
+        index = integral_index(key)
+        return default if index is None else self._nested.get(index, default)
 
     def lookup(self, *key: int, default=0):
         """Direct O(1) lookup with a full coordinate tuple."""
@@ -167,7 +171,8 @@ class PhysicalTrie:
         return iter(self.nested.items())
 
     def get(self, key, default=0):
-        return self.nested.get(int(key), default)
+        index = integral_index(key)
+        return default if index is None else self.nested.get(index, default)
 
     def __repr__(self) -> str:
         return f"PhysicalTrie({self.name}, dims={self.dims})"

@@ -1,0 +1,180 @@
+"""Tests for the fuzzer's program and data generators.
+
+The generator's contracts: programs are well-typed by construction, all
+randomness derives from the injected seed, bound names never collide with
+schema names, and the ``to_source`` round-trip is exact —
+``parse_expr(to_source(p)) == p`` — which the oracle and the corpus rely on
+to move cases between processes as plain text.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    MATRIX_STRUCTURES,
+    random_dense_tensor,
+    random_sparse_matrix,
+    random_structured_matrix,
+)
+from repro.fuzz import (
+    ProgramGenerator,
+    generate_case,
+    generate_program,
+    generate_schema,
+    legal_format_names,
+)
+from repro.fuzz.gendata import assign_formats, build_catalog, materialize_tensor
+from repro.sdqlite import node_count, parse_expr, symbols, to_source
+from repro.sdqlite.ast import Var, postorder
+
+
+# ---------------------------------------------------------------------------
+# to_source round-trip (the satellite contract the parser tests back up)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 4))
+def test_to_source_roundtrip_is_exact(seed):
+    case = generate_case(seed)
+    assert parse_expr(to_source(case.program)) == case.program
+
+
+def test_to_source_roundtrip_with_weird_keys():
+    rng = random.Random(99)
+    schema = generate_schema(rng)
+    program = generate_program(schema, rng, fuel=20, weird_key_chance=0.5)
+    assert parse_expr(to_source(program)) == program
+
+
+# ---------------------------------------------------------------------------
+# generator determinism and hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_generation_is_deterministic_per_seed():
+    left, right = generate_case(1234), generate_case(1234)
+    assert left.program == right.program
+    assert left.formats == right.formats
+    assert left.scalars == right.scalars
+    assert set(left.tensors) == set(right.tensors)
+    for name in left.tensors:
+        np.testing.assert_array_equal(left.tensors[name], right.tensors[name])
+
+
+def test_different_seeds_give_different_programs():
+    programs = {to_source(generate_case(seed).program) for seed in range(20)}
+    assert len(programs) > 10  # overwhelmingly distinct
+
+
+def test_program_references_only_schema_names():
+    for seed in range(40):
+        case = generate_case(seed)
+        known = set(case.tensors) | set(case.scalars)
+        assert symbols(case.program) <= known
+
+
+def test_bound_names_do_not_shadow_schema_names():
+    for seed in range(40):
+        case = generate_case(seed)
+        bound = {node.name for node in postorder(case.program)
+                 if isinstance(node, Var)}
+        assert not bound & (set(case.tensors) | set(case.scalars))
+
+
+def test_fuel_bounds_program_size():
+    rng = random.Random(5)
+    schema = generate_schema(rng)
+    small = generate_program(schema, random.Random(7), fuel=4)
+    large = generate_program(schema, random.Random(7), fuel=60)
+    assert node_count(small) <= node_count(large)
+    for _ in range(20):
+        program = generate_program(schema, rng, fuel=8)
+        assert node_count(program) < 200
+
+
+def test_schema_generator_draws_structures_and_scalars():
+    structures = set()
+    ranks = set()
+    saw_scalars = False
+    for seed in range(60):
+        schema = generate_schema(random.Random(seed))
+        for spec in schema.tensors:
+            structures.add(spec.structure)
+            ranks.add(spec.rank)
+        saw_scalars = saw_scalars or bool(schema.scalars)
+    assert structures >= set(MATRIX_STRUCTURES)
+    assert ranks == {1, 2, 3}
+    assert saw_scalars
+
+
+def test_program_generator_scalar_only_schema():
+    from repro.fuzz import Schema
+
+    schema = Schema(tensors=(), scalars=("c0",))
+    program = ProgramGenerator(schema, random.Random(3), fuel=10).gen_scalar()
+    assert parse_expr(to_source(program)) == program
+
+
+# ---------------------------------------------------------------------------
+# data generation: structure-aware synthesis and format legality
+# ---------------------------------------------------------------------------
+
+
+def test_random_structured_matrix_satisfies_preconditions():
+    rng = np.random.default_rng(0)
+    lower = random_structured_matrix(5, 0.9, structure="lower_triangular", rng=rng)
+    assert np.all(np.triu(lower, k=1) == 0)
+    band = random_structured_matrix(5, 0.9, structure="tridiagonal", rng=rng)
+    i, j = np.indices((5, 5))
+    assert np.all(band[np.abs(i - j) > 1] == 0)
+    with pytest.raises(ValueError):
+        random_structured_matrix(4, 0.5, structure="hilbert")
+
+
+def test_synthetic_generators_accept_explicit_rng():
+    # Same generator state => same data; the seed= path stays reproducible too.
+    a = random_sparse_matrix(6, 6, 0.5, rng=np.random.default_rng(42))
+    b = random_sparse_matrix(6, 6, 0.5, rng=np.random.default_rng(42))
+    np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(random_dense_tensor((3, 2), 0.5, seed=9),
+                                  random_dense_tensor((3, 2), 0.5, seed=9))
+
+
+def test_legal_format_names_tracks_structure():
+    lower = np.tril(np.ones((4, 4)))
+    names = legal_format_names(lower)
+    assert "lower_triangular" in names and "zorder" in names
+    assert "csf" not in names  # rank-3 only
+    general = np.ones((3, 4))
+    names = legal_format_names(general)
+    assert "csr" in names and "lower_triangular" not in names
+    vector = np.ones(5)
+    assert "dense" in legal_format_names(vector)
+    assert "csr" not in legal_format_names(vector)
+
+
+def test_every_legal_format_round_trips_the_data():
+    from repro.storage.convert import ALL_FORMATS
+
+    rng = np.random.default_rng(3)
+    tridiagonal = random_structured_matrix(4, 1.0, structure="tridiagonal", rng=rng)
+    for name in legal_format_names(tridiagonal):
+        fmt = ALL_FORMATS[name].from_dense("A", tridiagonal)
+        np.testing.assert_allclose(fmt.to_dense(), tridiagonal)
+
+
+def test_assign_formats_and_build_catalog():
+    rng = random.Random(8)
+    schema = generate_schema(rng)
+    data = {spec.name: materialize_tensor(spec, np.random.default_rng(1))
+            for spec in schema.tensors}
+    formats = assign_formats(data, rng)
+    assert set(formats) == set(data)
+    for name, fmt_name in formats.items():
+        assert fmt_name in legal_format_names(data[name])
+    catalog = build_catalog(data, formats, {"c0": 2.0})
+    assert catalog.scalars["c0"] == 2.0
+    for name, array in data.items():
+        np.testing.assert_allclose(catalog[name].to_dense(), array)

@@ -1,0 +1,146 @@
+"""Dedicated negative tests for the SDQLite parser's error paths.
+
+The fuzzer's generator relies on an exact round-trip,
+``parse_expr(to_source(ast)) == ast`` — which is only trustworthy if the
+parser *rejects* everything outside the grammar instead of guessing.  These
+tests pin down the error paths: malformed sum bindings, unbalanced lets and
+braces, reserved-marker misuse, bad annotations and DDL mistakes.  Every
+rejection must be a :class:`ParseError` carrying a source position, never a
+crash or a silent mis-parse.
+"""
+
+import pytest
+
+from repro.sdqlite import parse_expr, parse_program, to_source
+from repro.sdqlite.errors import ParseError
+
+
+def assert_rejects(source: str):
+    with pytest.raises(ParseError) as info:
+        parse_expr(source)
+    # Every parse error carries a line/column position for diagnostics.
+    assert info.value.line is None or info.value.line >= 1
+    return info.value
+
+
+# ---------------------------------------------------------------------------
+# malformed sum bindings
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [
+    "sum(<i> in A) i",                    # missing value pattern
+    "sum(<i,> in A) i",                   # empty value pattern
+    "sum(<, v> in A) v",                  # empty key pattern
+    "sum(<(i,), v> in A) v",              # trailing comma in tuple key
+    "sum(<(i j), v> in A) v",             # missing comma in tuple key
+    "sum(<i, v> A) v",                    # missing 'in'
+    "sum(<i, v> in A v",                  # unclosed binding list
+    "sum(<i, v> of A) v",                 # wrong keyword
+    "sum(<i, 3> in A) i",                 # number as value pattern
+    "sum(i, v in A) v",                   # missing angle brackets
+    "sum() 1",                            # no bindings at all
+])
+def test_malformed_sum_bindings_are_rejected(source):
+    assert_rejects(source)
+
+
+# ---------------------------------------------------------------------------
+# unbalanced / malformed lets
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [
+    "let x = 1 x + 1",                    # missing 'in'
+    "let x 1 in x",                       # missing '='
+    "let = 1 in 2",                       # missing name
+    "let x = in x",                       # missing value
+    "let x = 1, in x",                    # dangling comma
+    "let x = (1 in x",                    # unbalanced parenthesis in value
+    "let in 3",                           # no bindings
+])
+def test_malformed_lets_are_rejected(source):
+    assert_rejects(source)
+
+
+# ---------------------------------------------------------------------------
+# reserved-marker misuse: De Bruijn / annotation markers are not surface syntax
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [
+    "%0",                                 # bare De Bruijn marker
+    "sum(<k, v> in A) %1 + v",            # De Bruijn marker inside a body
+    "{ @bogus i -> v }",                  # unknown annotation
+    "@unique i -> v",                     # annotation outside a dictionary
+    "{ @unique -> v }",                   # annotation without a key
+    "sum(<@unique k, v> in A) k",         # annotation inside a binding pattern
+])
+def test_reserved_marker_misuse_is_rejected(source):
+    assert_rejects(source)
+
+
+# ---------------------------------------------------------------------------
+# unbalanced dictionaries / parentheses / junk
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [
+    "{ i -> v",                           # unclosed brace
+    "i -> v }",                           # stray arrow outside a dictionary
+    "{ }",                                # empty literal
+    "{ i -> v, }",                        # dangling comma
+    "(1 + 2",                             # unclosed parenthesis
+    "1 + 2)",                             # stray closing parenthesis
+    "A(1:2",                              # unclosed slice
+    "1 ? 2",                              # junk character
+    "merge(<a, b> in <L, R>) 1",          # merge needs three names
+    "merge(<a, b, v> in L) 1",            # merge needs a source pair
+    "",                                   # empty input
+])
+def test_unbalanced_and_junk_input_is_rejected(source):
+    assert_rejects(source)
+
+
+def test_error_positions_point_at_the_offending_token():
+    error = assert_rejects("sum(<i, v> in A)\n  { i -> }")
+    assert error.line == 2
+
+
+# ---------------------------------------------------------------------------
+# DDL error paths
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [
+    "CREATE TABLE T(3)",                  # unknown CREATE kind
+    "CREATE TENSOR T 1 + 2",              # missing AS
+    "CREATE real TRIE T",                 # trie without dimensions
+    "CREATE ARRAY A(3",                   # unclosed size
+    "SELECT 1",                           # not a CREATE statement at all
+])
+def test_malformed_ddl_is_rejected(source):
+    with pytest.raises(ParseError):
+        parse_program(source)
+
+
+# ---------------------------------------------------------------------------
+# the rejection boundary is exact: valid neighbours of the bad inputs parse,
+# and what parses round-trips through to_source
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source", [
+    "sum(<i, v> in A) v",
+    "sum(<(i, j), v> in A) v",
+    "sum(<i, _> in 0:3) i",
+    "let x = 1 in x + 1",
+    "let x = 1, y = 2 in x * y",
+    "{ i -> v }",
+    "{ @unique i -> v }",
+    "merge(<a, b, v> in <L, R>) v",
+    "A(1:2)",
+])
+def test_valid_neighbours_parse_and_roundtrip(source):
+    ast = parse_expr(source)
+    assert parse_expr(to_source(ast)) == ast
