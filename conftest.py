@@ -1,13 +1,61 @@
-"""Pytest configuration: make the in-tree ``src/`` layout importable.
+"""Pytest configuration: ``src/`` importability and a timeout-marker fallback.
 
 The canonical way to work on this repository is ``pip install -e .``; this
 fallback keeps ``pytest`` working in offline environments where the editable
 install cannot build (no ``wheel`` package available).
+
+The concurrency stress suite (``tests/test_serving.py``) marks its tests
+with ``@pytest.mark.timeout(N)`` so a deadlock fails fast instead of hanging
+the run.  CI installs the ``pytest-timeout`` plugin, which honours the
+marker natively; offline environments may not have it, so when the plugin is
+absent this file degrades gracefully to a SIGALRM-based enforcement of the
+same marker (main-thread only, POSIX only — elsewhere the marker becomes a
+no-op rather than an import error).
 """
 
 import os
+import signal
 import sys
+
+import pytest
 
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+try:
+    import pytest_timeout  # noqa: F401 - presence check only
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than this "
+            "(SIGALRM fallback; pytest-timeout enforces it in CI)")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    use_alarm = (not _HAVE_PYTEST_TIMEOUT and marker is not None
+                 and hasattr(signal, "SIGALRM"))
+    if not use_alarm:
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 300.0
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout marker (SIGALRM fallback)")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -29,6 +29,7 @@ hit is always safe: the environment is only bound at
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Mapping
@@ -71,6 +72,11 @@ class PlanCache:
     physical kinds of the symbols, at the cost of one extra lowering per
     distinct schema.  ``hits`` / ``misses`` counters are exposed for tests
     and benchmark reporting.
+
+    All operations are atomic: the cache is shared process-wide (and, through
+    the serving layer, across concurrent client threads), so lookup +
+    recency-bump, insert + eviction, and the counter updates each happen
+    under one internal lock.
     """
 
     def __init__(self, maxsize: int = 128):
@@ -80,30 +86,35 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable):
         """Return the cached artifact or ``None``; counts a hit or a miss."""
-        try:
-            artifact = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return artifact
+        with self._lock:
+            try:
+                artifact = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return artifact
 
     def put(self, key: Hashable, artifact: Any) -> None:
         """Insert an artifact, evicting the least recently used beyond maxsize."""
-        self._entries[key] = artifact
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def discard(self, key: Hashable) -> None:
         """Evict one entry if present (used to drop plans gone stale).
@@ -111,13 +122,15 @@ class PlanCache:
         Unlike :meth:`get`, a miss here is not counted — discarding an
         already-evicted key is a no-op.
         """
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: Process-wide default cache used when an engine is not given its own.

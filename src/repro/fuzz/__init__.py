@@ -14,7 +14,13 @@ Run a campaign from the command line::
     PYTHONPATH=src python -m repro.fuzz --seed 1 --cases 1000 --out fuzz-failures
 """
 
-from .corpus import load_corpus_case, render_corpus_case, write_corpus_case
+from .corpus import (
+    CorpusEntry,
+    load_corpus_case,
+    load_corpus_entry,
+    render_corpus_case,
+    write_corpus_case,
+)
 from .gendata import (
     assign_formats,
     build_catalog,
@@ -26,6 +32,8 @@ from .oracle import (
     FUZZ_OPTIMIZER_OPTIONS,
     CampaignReport,
     CaseSkipped,
+    CatalogUpdate,
+    ConcurrentDivergence,
     Divergence,
     FuzzCase,
     OracleConfig,
@@ -33,8 +41,12 @@ from .oracle import (
     canonical,
     case_seed,
     check_case,
+    check_concurrent_case,
+    concurrent_campaign,
     generate_case,
+    generate_updates,
     replay,
+    replay_concurrent,
     results_match,
 )
 from .shrink import shrink_case
@@ -42,9 +54,13 @@ from .shrink import shrink_case
 __all__ = [
     "ProgramGenerator", "Schema", "TensorSpec", "generate_program", "generate_schema",
     "assign_formats", "build_catalog", "legal_format_names", "materialize_tensor",
-    "FUZZ_OPTIMIZER_OPTIONS", "CampaignReport", "CaseSkipped", "Divergence",
+    "FUZZ_OPTIMIZER_OPTIONS", "CampaignReport", "CaseSkipped", "CatalogUpdate",
+    "ConcurrentDivergence", "Divergence",
     "FuzzCase", "OracleConfig", "campaign", "canonical", "case_seed",
-    "check_case", "generate_case", "replay", "results_match",
+    "check_case", "check_concurrent_case", "concurrent_campaign",
+    "generate_case", "generate_updates", "replay", "replay_concurrent",
+    "results_match",
     "shrink_case",
-    "load_corpus_case", "render_corpus_case", "write_corpus_case",
+    "CorpusEntry", "load_corpus_case", "load_corpus_entry",
+    "render_corpus_case", "write_corpus_case",
 ]

@@ -12,6 +12,13 @@ Examples::
 Exits non-zero when any divergence is found; shrunk repro files written to
 ``--out`` are ready to be copied into ``tests/corpus/`` as permanent
 regression tests once the underlying bug is fixed.
+
+``--concurrent`` switches to the serial-equivalence campaign: each case is
+executed by concurrent reader threads through ``repro.serving.Server`` while
+a writer applies random catalog updates, and every observed result must
+match the program evaluated serially at some update prefix::
+
+    PYTHONPATH=src python -m repro.fuzz --concurrent --seed 1 --cases 40
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .oracle import campaign
+from .oracle import campaign, concurrent_campaign
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,18 +53,40 @@ def main(argv: list[str] | None = None) -> int:
                         help="stop after this many divergences (default 5)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-50-case progress lines")
+    parser.add_argument("--concurrent", action="store_true",
+                        help="serial-equivalence mode: race executions against "
+                             "catalog updates through the serving layer")
+    parser.add_argument("--readers", type=int, default=3,
+                        help="concurrent mode: reader threads per case (default 3)")
+    parser.add_argument("--updates", type=int, default=5,
+                        help="concurrent mode: catalog updates per case (default 5)")
+    parser.add_argument("--executions", type=int, default=4,
+                        help="concurrent mode: executions per reader (default 4)")
     args = parser.parse_args(argv)
 
-    report = campaign(
-        args.seed, args.cases,
-        legacy_every=args.legacy_every,
-        shrink=not args.no_shrink,
-        out_dir=args.out,
-        time_budget=args.time_budget,
-        max_failures=args.max_failures,
-        progress=not args.quiet,
-        case_options={"fuel": args.fuel},
-    )
+    if args.concurrent:
+        report = concurrent_campaign(
+            args.seed, args.cases,
+            readers=args.readers,
+            executions=args.executions,
+            updates_per_case=args.updates,
+            out_dir=args.out,
+            time_budget=args.time_budget,
+            max_failures=args.max_failures,
+            progress=not args.quiet,
+            case_options={"fuel": args.fuel},
+        )
+    else:
+        report = campaign(
+            args.seed, args.cases,
+            legacy_every=args.legacy_every,
+            shrink=not args.no_shrink,
+            out_dir=args.out,
+            time_budget=args.time_budget,
+            max_failures=args.max_failures,
+            progress=not args.quiet,
+            case_options={"fuel": args.fuel},
+        )
     print(report.summary())
     for divergence in report.divergences:
         print("\n--- divergence " + "-" * 50)

@@ -14,24 +14,38 @@ configurations it once diverged under::
 Files under ``tests/corpus/`` are replayed by ``tests/test_corpus_replay.py``
 on every tier-1 run: a shrunk failure, once fixed, becomes a permanent
 regression test by copying the file there (see ``docs/testing.md``).
+
+Concurrent-mode repros (from :func:`repro.fuzz.oracle.concurrent_campaign`)
+add two keys — ``MODE = "concurrent"`` and ``UPDATES``, the serialized
+catalog-update sequence the case raced against — and replay through
+:func:`repro.fuzz.oracle.replay_concurrent` instead of :func:`replay`.
 """
 
 from __future__ import annotations
 
 import pathlib
 import runpy
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..sdqlite.parser import parse_expr
-from .oracle import Divergence, FuzzCase
+from .oracle import CatalogUpdate, Divergence, FuzzCase
 
 
-def render_corpus_case(divergence: Divergence) -> str:
-    """The corpus-file source text for a (normally shrunk) divergence."""
+def render_corpus_case(divergence) -> str:
+    """The corpus-file source text for a (normally shrunk) divergence.
+
+    Accepts a :class:`~repro.fuzz.oracle.Divergence` or a
+    :class:`~repro.fuzz.oracle.ConcurrentDivergence` (duck-typed on the
+    presence of an ``updates`` attribute).
+    """
     case = divergence.case
+    updates = getattr(divergence, "updates", None)
     what = (f"raised {divergence.error}" if divergence.error is not None
             else "diverged from the reference result")
+    if updates is not None:
+        what = f"{what} under concurrent catalog updates"
     lines = [
         f'"""Shrunk fuzz repro (seed {case.seed}): '
         f'{divergence.method}/{divergence.backend} {what}."""',
@@ -43,24 +57,37 @@ def render_corpus_case(divergence: Divergence) -> str:
         f"SCALARS = {dict(sorted(case.scalars.items()))!r}",
         f"CONFIGS = [({divergence.method!r}, {divergence.backend!r})]",
     ]
+    if updates is not None:
+        lines.append('MODE = "concurrent"')
+        lines.append(f"UPDATES = {[update.as_dict() for update in updates]!r}")
     return "\n".join(lines) + "\n"
 
 
-def write_corpus_case(divergence: Divergence, directory: str | pathlib.Path
+def write_corpus_case(divergence, directory: str | pathlib.Path
                       ) -> pathlib.Path:
     """Serialize a divergence into ``directory`` and return the file path."""
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    name = (f"fuzz_seed{divergence.case.seed}_{divergence.method}_"
+    mode = "concurrent_" if getattr(divergence, "updates", None) is not None else ""
+    name = (f"fuzz_{mode}seed{divergence.case.seed}_{divergence.method}_"
             f"{divergence.backend}.py")
     path = directory / name
     path.write_text(render_corpus_case(divergence))
     return path
 
 
-def load_corpus_case(path: str | pathlib.Path
-                     ) -> tuple[FuzzCase, list[tuple[str, str]]]:
-    """Load a corpus file back into a :class:`FuzzCase` plus its configs."""
+@dataclass
+class CorpusEntry:
+    """One loaded corpus file: the case plus how to replay it."""
+
+    case: FuzzCase
+    configs: list[tuple[str, str]]
+    mode: str = "serial"                               # "serial" | "concurrent"
+    updates: list[CatalogUpdate] = field(default_factory=list)
+
+
+def load_corpus_entry(path: str | pathlib.Path) -> CorpusEntry:
+    """Load a corpus file, serial or concurrent, into a :class:`CorpusEntry`."""
     spec = runpy.run_path(str(path))
     case = FuzzCase(
         seed=0,
@@ -71,4 +98,14 @@ def load_corpus_case(path: str | pathlib.Path
         scalars=dict(spec.get("SCALARS", {})),
     )
     configs = [tuple(pair) for pair in spec.get("CONFIGS", [])]
-    return case, configs
+    mode = spec.get("MODE", "serial")
+    updates = [CatalogUpdate.from_dict(entry)
+               for entry in spec.get("UPDATES", [])]
+    return CorpusEntry(case=case, configs=configs, mode=mode, updates=updates)
+
+
+def load_corpus_case(path: str | pathlib.Path
+                     ) -> tuple[FuzzCase, list[tuple[str, str]]]:
+    """Load a corpus file back into a :class:`FuzzCase` plus its configs."""
+    entry = load_corpus_entry(path)
+    return entry.case, entry.configs

@@ -31,6 +31,7 @@ rounding does.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -401,3 +402,305 @@ def replay(case: FuzzCase, configs: Iterable[tuple[str, str]] | None = None,
                               m for m in methods if m != "unoptimized"),
                           **tolerances)
     return check_case(case, config)
+
+
+# ---------------------------------------------------------------------------
+# concurrent campaigns: serial-equivalence under interleaved catalog updates
+# ---------------------------------------------------------------------------
+#
+# The serving layer (repro.serving) promises snapshot isolation: a request
+# racing a catalog update sees either the whole update or none of it.  The
+# concurrent oracle checks the observable consequence — *serial
+# equivalence*: with a single writer applying updates u1..um, every state a
+# snapshot can capture is a prefix state s0..sm, so every concurrent
+# execution's result must equal the program evaluated serially at SOME si
+# (its linearization witness).  A result matching no state means a reader
+# observed a torn catalog (or a cache served a plan across epochs).
+
+
+@dataclass(frozen=True)
+class CatalogUpdate:
+    """One serialized catalog mutation of a concurrent fuzz case.
+
+    ``kind`` is one of:
+
+    * ``"set_scalar"`` — re-bind scalar ``name`` to ``value`` (value-only);
+    * ``"replace"``    — re-store tensor ``name`` with *new data* (the old
+      dense data scaled by ``value``) in format ``fmt`` (schema bump);
+    * ``"reformat"``   — re-store tensor ``name`` in format ``fmt`` with
+      unchanged data (schema bump, result-preserving).
+    """
+
+    kind: str
+    name: str
+    value: float | None = None
+    fmt: str | None = None
+
+    def as_dict(self) -> dict:
+        out = {"kind": self.kind, "name": self.name}
+        if self.value is not None:
+            out["value"] = self.value
+        if self.fmt is not None:
+            out["fmt"] = self.fmt
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "CatalogUpdate":
+        return cls(kind=spec["kind"], name=spec["name"],
+                   value=spec.get("value"), fmt=spec.get("fmt"))
+
+
+def apply_update_state(state: FuzzCase, update: CatalogUpdate) -> FuzzCase:
+    """The successor state (functional — ``state`` is not modified)."""
+    if update.kind == "set_scalar":
+        scalars = dict(state.scalars)
+        scalars[update.name] = update.value
+        return state.replace(scalars=scalars)
+    if update.kind == "replace":
+        tensors = dict(state.tensors)
+        tensors[update.name] = np.asarray(tensors[update.name]) * update.value
+        formats = dict(state.formats)
+        formats[update.name] = update.fmt
+        return state.replace(tensors=tensors, formats=formats)
+    if update.kind == "reformat":
+        formats = dict(state.formats)
+        formats[update.name] = update.fmt
+        return state.replace(formats=formats)
+    raise ValueError(f"unknown update kind {update.kind!r}")
+
+
+def apply_update_live(server, state: FuzzCase, update: CatalogUpdate) -> FuzzCase:
+    """Apply ``update`` to a live server atomically; return the new state."""
+    from ..storage.convert import ALL_FORMATS, reformat_in_catalog
+
+    successor = apply_update_state(state, update)
+    if update.kind == "set_scalar":
+        server.set_scalar(update.name, update.value)
+    elif update.kind == "replace":
+        data = np.asarray(successor.tensors[update.name], dtype=np.float64)
+        server.replace_format(ALL_FORMATS[update.fmt].from_dense(update.name, data))
+    elif update.kind == "reformat":
+        reformat_in_catalog(server.catalog, update.name, update.fmt)
+    return successor
+
+
+def generate_updates(case: FuzzCase, rng: random.Random,
+                     count: int) -> list[CatalogUpdate]:
+    """A random, serially-applicable update sequence for ``case``."""
+    from .gendata import legal_format_names
+
+    updates: list[CatalogUpdate] = []
+    state = case
+    for _ in range(count):
+        kinds = []
+        if state.scalars:
+            kinds.append("set_scalar")
+        if state.tensors:
+            kinds.extend(["replace", "reformat"])
+        if not kinds:
+            break
+        kind = rng.choice(kinds)
+        if kind == "set_scalar":
+            name = rng.choice(sorted(state.scalars))
+            update = CatalogUpdate("set_scalar", name,
+                                   value=round(rng.uniform(-4.0, 4.0), 3))
+        elif kind == "replace":
+            name = rng.choice(sorted(state.tensors))
+            # Scaling preserves the sparsity structure, so every format that
+            # was legal (including structural special formats) stays legal.
+            scale = round(rng.choice([0.5, 0.75, 1.25, 1.5, 2.0]), 3)
+            fmt = rng.choice(legal_format_names(np.asarray(state.tensors[name])))
+            update = CatalogUpdate("replace", name, value=scale, fmt=fmt)
+        else:
+            name = rng.choice(sorted(state.tensors))
+            legal = legal_format_names(np.asarray(state.tensors[name]))
+            others = [f for f in legal if f != state.formats[name]] or legal
+            update = CatalogUpdate("reformat", name, fmt=rng.choice(others))
+        updates.append(update)
+        state = apply_update_state(state, update)
+    return updates
+
+
+@dataclass
+class ConcurrentDivergence:
+    """A concurrent execution whose result matches no serial state."""
+
+    case: FuzzCase
+    updates: list[CatalogUpdate]
+    method: str
+    backend: str
+    actual: Any = None
+    error: str | None = None
+    expected: Any = None    # the serial state results, for the report
+
+    def describe(self) -> str:
+        head = (f"seed={self.case.seed} concurrent {self.method}/{self.backend} "
+                f"formats={self.case.formats} updates={[u.as_dict() for u in self.updates]}")
+        if self.error is not None:
+            return f"{head}\n  raised: {self.error}\n  program: {self.case.source}"
+        return (f"{head}\n  actual:   {self.actual!r}\n  matched none of "
+                f"{len(self.expected)} serial states: {self.expected!r}\n"
+                f"  program: {self.case.source}")
+
+
+def _serial_state_results(case: FuzzCase, updates: list[CatalogUpdate],
+                          config: OracleConfig) -> list[Any]:
+    """Reference result per prefix state s0..sm (the linearization witnesses)."""
+    expected = []
+    state = case
+    for index in range(len(updates) + 1):
+        runner = _CaseRunner(state, config)
+        try:
+            expected.append(canonical(runner.run(*REFERENCE),
+                                      abs_tol=config.abs_tol))
+        except Exception as exc:  # noqa: BLE001 - no reference, no signal
+            raise CaseSkipped(
+                f"serial reference failed at state {index}: {exc!r}") from exc
+        if index < len(updates):
+            state = apply_update_state(state, updates[index])
+    return expected
+
+
+def check_concurrent_case(case: FuzzCase, updates: list[CatalogUpdate], *,
+                          config: OracleConfig | None = None, readers: int = 3,
+                          executions: int = 4,
+                          writer_delay: float = 0.002
+                          ) -> ConcurrentDivergence | None:
+    """Hammer one case concurrently; assert serial equivalence.
+
+    ``readers`` threads execute the program ``executions`` times each
+    through one shared :class:`repro.serving.Server` (methods × backends
+    rotate over ``config.pairs()``, minus the composed-plan pseudo-method)
+    while a writer thread applies ``updates`` in order.  Every result must
+    equal the serial reference at some prefix state; the first observation
+    with no witness (or any raised error) is returned as a
+    :class:`ConcurrentDivergence`.
+    """
+    from ..serving import Server
+
+    config = config or OracleConfig()
+    pairs = [(method, backend) for method, backend in
+             (list(config.pairs()) or [("greedy", "compile")])
+             if method not in ("unoptimized", "egraph-legacy")]
+    if not pairs:
+        pairs = [("greedy", "compile")]
+    expected = _serial_state_results(case, updates, config)
+
+    server = Server(build_catalog(case.tensors, case.formats, case.scalars),
+                    optimizer_options=dict(config.optimizer_options))
+    barrier = threading.Barrier(readers + 1)
+    observations: list[tuple[str, str, Any, str | None]] = []
+    observations_lock = threading.Lock()
+
+    def reader(index: int) -> None:
+        method, backend = pairs[index % len(pairs)]
+        session = server.session(method=method, backend=backend)
+        statement = session.prepare(case.program)
+        barrier.wait()
+        for _ in range(executions):
+            try:
+                value = canonical(statement.execute(), abs_tol=config.abs_tol)
+                record = (method, backend, value, None)
+            except Exception as exc:  # noqa: BLE001 - errors are divergences
+                record = (method, backend, None, f"{type(exc).__name__}: {exc}")
+            with observations_lock:
+                observations.append(record)
+
+    def writer() -> None:
+        state = case
+        barrier.wait()
+        for update in updates:
+            time.sleep(writer_delay)
+            state = apply_update_live(server, state, update)
+
+    threads = [threading.Thread(target=reader, args=(i,), daemon=True)
+               for i in range(readers)]
+    threads.append(threading.Thread(target=writer, daemon=True))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    if any(thread.is_alive() for thread in threads):
+        return ConcurrentDivergence(case, updates, "*", "*",
+                                    error="deadlock: worker threads did not finish")
+
+    for method, backend, value, error in observations:
+        if error is not None:
+            return ConcurrentDivergence(case, updates, method, backend, error=error)
+        if not any(results_match(witness, value, rel_tol=config.rel_tol,
+                                 abs_tol=config.abs_tol)
+                   for witness in expected):
+            return ConcurrentDivergence(case, updates, method, backend,
+                                        actual=value, expected=expected)
+    return None
+
+
+def concurrent_campaign(seed: int, cases: int, *,
+                        config: OracleConfig | None = None, readers: int = 3,
+                        executions: int = 4, updates_per_case: int = 5,
+                        out_dir: str | None = None,
+                        time_budget: float | None = None, max_failures: int = 5,
+                        progress: bool = False,
+                        case_options: Mapping[str, Any] | None = None
+                        ) -> CampaignReport:
+    """A seeded campaign of :func:`check_concurrent_case` points.
+
+    Case and update generation derive deterministically from ``seed``; the
+    serial-equivalence property must hold under *any* thread interleaving,
+    so a campaign is replayable even though schedules differ run to run.
+    Failures are serialized (un-shrunk — schedules don't delta-debug) as
+    ``MODE = "concurrent"`` corpus files when ``out_dir`` is given.
+    """
+    from .corpus import write_corpus_case
+
+    base_config = config or OracleConfig()
+    report = CampaignReport(seed=seed)
+    start = time.perf_counter()
+    options = dict(case_options or {})
+    for index in range(cases):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        case = generate_case(case_seed(seed, index), **options)
+        rng = random.Random(case.seed ^ 0x5EEDC0DE)
+        updates = generate_updates(case, rng, updates_per_case)
+        try:
+            divergence = check_concurrent_case(case, updates,
+                                               config=base_config,
+                                               readers=readers,
+                                               executions=executions)
+        except CaseSkipped:
+            report.skipped += 1
+            report.cases_run += 1
+            continue
+        report.cases_run += 1
+        if divergence is not None:
+            report.divergences.append(divergence)
+            if out_dir is not None:
+                report.corpus_paths.append(str(write_corpus_case(divergence, out_dir)))
+            if len(report.divergences) >= max_failures:
+                break
+        if progress and (index + 1) % 10 == 0:
+            elapsed = time.perf_counter() - start
+            print(f"  [{index + 1}/{cases}] {elapsed:.1f}s "
+                  f"({report.skipped} skipped, "
+                  f"{len(report.divergences)} divergences)")
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def replay_concurrent(case: FuzzCase, updates: Iterable[CatalogUpdate | Mapping],
+                      configs: Iterable[tuple[str, str]] | None = None,
+                      *, readers: int = 3, executions: int = 4,
+                      **tolerances) -> ConcurrentDivergence | None:
+    """Re-run a (corpus-loaded) concurrent case and re-check serial equivalence."""
+    updates = [update if isinstance(update, CatalogUpdate)
+               else CatalogUpdate.from_dict(update) for update in updates]
+    if configs:
+        configs = list(configs)
+        methods = tuple(dict.fromkeys(method for method, _ in configs))
+        backends = tuple(dict.fromkeys(backend for _, backend in configs))
+        config = OracleConfig(backends=backends, methods=methods, **tolerances)
+    else:
+        config = OracleConfig(**tolerances)
+    return check_concurrent_case(case, updates, config=config,
+                                 readers=readers, executions=executions)

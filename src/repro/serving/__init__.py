@@ -1,0 +1,47 @@
+"""Concurrent serving: one shared catalog, many client sessions (docs/serving.md).
+
+Public surface:
+
+* :class:`Server` — the thread-safe multiplexer: admission control,
+  snapshot-isolated execution, shared plan cache, stats.
+* :class:`ClientSession` / :class:`ServedStatement` — per-client handles.
+* :class:`SharedPlanCache` / :func:`plan_key` / :func:`catalog_fingerprint`
+  — the cross-session plan cache and its key discipline.
+* :class:`ServerStats` / :class:`LatencyRecorder` — the observability layer.
+* :class:`ServerBusy` / :class:`RequestTimeout` / :class:`ServerClosed` —
+  the back-pressure signals.
+"""
+
+from .cache import SharedPlan, SharedPlanCache, base_key, catalog_fingerprint, plan_key
+from .server import (
+    AdmissionGate,
+    ClientSession,
+    RequestTimeout,
+    ServedStatement,
+    Server,
+    ServerBusy,
+    ServerClosed,
+    ServerConfig,
+    ServingError,
+)
+from .stats import LatencyRecorder, ServerStats, percentile
+
+__all__ = [
+    "AdmissionGate",
+    "ClientSession",
+    "LatencyRecorder",
+    "RequestTimeout",
+    "ServedStatement",
+    "Server",
+    "ServerBusy",
+    "ServerClosed",
+    "ServerConfig",
+    "ServerStats",
+    "ServingError",
+    "SharedPlan",
+    "SharedPlanCache",
+    "base_key",
+    "catalog_fingerprint",
+    "percentile",
+    "plan_key",
+]

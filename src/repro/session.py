@@ -42,6 +42,7 @@ point shares this single code path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -149,6 +150,13 @@ class Session:
         self._engines: dict[str, ExecutionEngine] = {}
         self._opt_memo: dict[Any, OptimizationResult] = {}
         self._opt_memo_version = -1
+        # One re-entrant lock guards every piece of derived state above
+        # (statistics, environment, engines, the optimizer memo) plus the
+        # catalog-mutation + incremental-stats-patch pairs, so one Session
+        # can be shared by concurrent threads.  Lock order is always
+        # session lock -> catalog lock; the catalog never calls back into
+        # the session, so the order cannot invert.
+        self._lock = threading.RLock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -165,10 +173,11 @@ class Session:
         functions of the plan, the default cache is shared process-wide,
         and the cache is LRU-bounded anyway.
         """
-        self._stats = None
-        self._env = None
-        self._engines.clear()
-        self._opt_memo.clear()
+        with self._lock:
+            self._stats = None
+            self._env = None
+            self._engines.clear()
+            self._opt_memo.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Session(tensors={sorted(self.catalog.tensors)}, "
@@ -188,11 +197,12 @@ class Session:
 
     def register(self, fmt) -> "Session":
         """Register a new tensor (see :meth:`repro.storage.Catalog.add`)."""
-        in_sync = self._stats_in_sync()
-        self.catalog.add(fmt)
-        if in_sync:
-            self._stats.apply_format(fmt)
-            self._stats_version = self.catalog.version
+        with self._lock:
+            in_sync = self._stats_in_sync()
+            self.catalog.add(fmt)
+            if in_sync:
+                self._stats.apply_format(fmt)
+                self._stats_version = self.catalog.version
         return self
 
     def set_scalar(self, name: str, value: float) -> "Session":
@@ -202,35 +212,38 @@ class Session:
         and only refresh their environment — no re-optimization, no
         re-lowering.
         """
-        in_sync = self._stats_in_sync()
-        self.catalog.set_scalar(name, value)
-        if in_sync:
-            self._stats.set_scalar(name, value)
-            self._stats_version = self.catalog.version
+        with self._lock:
+            in_sync = self._stats_in_sync()
+            self.catalog.set_scalar(name, value)
+            if in_sync:
+                self._stats.set_scalar(name, value)
+                self._stats_version = self.catalog.version
         return self
 
     def drop(self, name: str) -> "Session":
         """Unregister a tensor or scalar (see :meth:`repro.storage.Catalog.drop`)."""
-        fmt = self.catalog.tensors.get(name)
-        in_sync = self._stats_in_sync()
-        self.catalog.drop(name)
-        if in_sync:
-            if fmt is not None:
-                self._stats.remove_format(fmt)
-            else:
-                self._stats.remove_scalar(name)
-            self._stats_version = self.catalog.version
+        with self._lock:
+            fmt = self.catalog.tensors.get(name)
+            in_sync = self._stats_in_sync()
+            self.catalog.drop(name)
+            if in_sync:
+                if fmt is not None:
+                    self._stats.remove_format(fmt)
+                else:
+                    self._stats.remove_scalar(name)
+                self._stats_version = self.catalog.version
         return self
 
     def replace_format(self, fmt) -> "Session":
         """Re-store an already-registered tensor in a different format."""
-        old = self.catalog.tensors.get(fmt.name)
-        in_sync = self._stats_in_sync()
-        self.catalog.replace(fmt)
-        if in_sync:
-            self._stats.remove_format(old)
-            self._stats.apply_format(fmt)
-            self._stats_version = self.catalog.version
+        with self._lock:
+            old = self.catalog.tensors.get(fmt.name)
+            in_sync = self._stats_in_sync()
+            self.catalog.replace(fmt)
+            if in_sync:
+                self._stats.remove_format(old)
+                self._stats.apply_format(fmt)
+                self._stats_version = self.catalog.version
         return self
 
     def apply_recommendation(self, recommendation) -> "Session":
@@ -293,43 +306,48 @@ class Session:
         a full :meth:`Statistics.from_catalog` rebuild only happens when the
         catalog was mutated behind the session's back.
         """
-        if not self._stats_in_sync():
-            self._stats = Statistics.from_catalog(self.catalog)
-            self._stats_version = self.catalog.version
-        return self._stats
+        with self._lock:
+            if not self._stats_in_sync():
+                self._stats = Statistics.from_catalog(self.catalog)
+                self._stats_version = self.catalog.version
+            return self._stats
 
     def environment(self) -> dict[str, Any]:
         """The physical environment ``catalog.globals()``, memoized per epoch."""
-        if self._env is None or self._env_version != self.catalog.version:
-            self._env = self.catalog.globals()
-            self._env_version = self.catalog.version
-        return self._env
+        with self._lock:
+            if self._env is None or self._env_version != self.catalog.version:
+                version = self.catalog.version
+                self._env = self.catalog.globals()
+                self._env_version = version
+            return self._env
 
     def engine(self, backend: str | None = None) -> ExecutionEngine:
         """The session's execution engine for ``backend`` (default backend if None)."""
         backend = backend or self.backend
-        env = self.environment()
-        engine = self._engines.get(backend)
-        if engine is None or engine.env is not env:
-            engine = ExecutionEngine(env=env, backend=backend, cache=self.cache)
-            self._engines[backend] = engine
-        return engine
+        with self._lock:
+            env = self.environment()
+            engine = self._engines.get(backend)
+            if engine is None or engine.env is not env:
+                engine = ExecutionEngine(env=env, backend=backend, cache=self.cache)
+                self._engines[backend] = engine
+            return engine
 
     def _optimize(self, expr: Expr, method: str,
                   optimizer_options: Mapping[str, Any]) -> OptimizationResult:
         """Cost-based optimization, memoized per (program, method, options, epoch)."""
-        if self._opt_memo_version != self.catalog.version:
-            self._opt_memo.clear()
-            self._opt_memo_version = self.catalog.version
-        options = dict(self.optimizer_options)
-        options.update(optimizer_options)
-        key = (expr, method, tuple(sorted(options.items())))
-        result = self._opt_memo.get(key)
-        if result is None:
-            optimizer = Optimizer(self.statistics(), **options)
-            result = optimizer.optimize(expr, self.catalog.mappings(), method=method)
-            self._opt_memo[key] = result
-        return result
+        with self._lock:
+            if self._opt_memo_version != self.catalog.version:
+                self._opt_memo.clear()
+                self._opt_memo_version = self.catalog.version
+            options = dict(self.optimizer_options)
+            options.update(optimizer_options)
+            key = (expr, method, tuple(sorted(options.items())))
+            result = self._opt_memo.get(key)
+            if result is None:
+                optimizer = Optimizer(self.statistics(), **options)
+                result = optimizer.optimize(expr, self.catalog.mappings(), method=method)
+                self._opt_memo[key] = result
+            return result
 
     # -- the query API --------------------------------------------------------
 
@@ -393,8 +411,11 @@ class Statement:
         self.dense_shape = dense_shape
         self.optimizer_options = optimizer_options
         self.optimization: OptimizationResult = None  # set by _prepare
-        self._prepared: PreparedPlan = None
-        self._env: Mapping[str, Any] = {}
+        # The prepared artifact and the environment it executes against are
+        # kept in ONE tuple, swapped wholesale: a concurrent re-preparation
+        # can never be observed as a new artifact paired with an old
+        # environment (or vice versa) by an in-flight execute().
+        self._bound: tuple[PreparedPlan, Mapping[str, Any]] | None = None
         self._schema_version = -1
         self._version = -1
         self._prepare()
@@ -403,19 +424,34 @@ class Statement:
 
     def _prepare(self) -> None:
         session = self._session
-        self.optimization = session._optimize(self.program, self.method,
-                                              self.optimizer_options)
-        engine = session.engine(self.backend)
-        unbound = _global_symbols(self.optimization.plan) - set(engine.env)
-        if unbound:
-            raise StorageError(
-                f"plan references unbound symbol(s) {sorted(unbound)}; "
-                "a tensor or scalar the program needs is not registered "
-                "in the catalog (was it dropped?)")
-        self._prepared = engine.prepare(self.optimization.plan)
-        self._env = engine.env
-        self._schema_version = session.catalog.schema_version
-        self._version = session.catalog.version
+        with session._lock:
+            # Epochs are read *before* the derived state is rebuilt: if a
+            # writer slips in a mutation between the epoch read and the
+            # prepare (only possible through direct catalog access — session
+            # mutators hold the same lock), the recorded epochs are older
+            # than the state we built, so the next execution revalidates
+            # again rather than serving stale state forever.
+            version, schema_version = session.catalog.epochs()
+            self.optimization = session._optimize(self.program, self.method,
+                                                  self.optimizer_options)
+            engine = session.engine(self.backend)
+            unbound = _global_symbols(self.optimization.plan) - set(engine.env)
+            if unbound:
+                raise StorageError(
+                    f"plan references unbound symbol(s) {sorted(unbound)}; "
+                    "a tensor or scalar the program needs is not registered "
+                    "in the catalog (was it dropped?)")
+            self._bound = (engine.prepare(self.optimization.plan), engine.env)
+            self._schema_version = schema_version
+            self._version = version
+
+    @property
+    def _prepared(self) -> PreparedPlan | None:
+        return self._bound[0] if self._bound is not None else None
+
+    @property
+    def _env(self) -> Mapping[str, Any]:
+        return self._bound[1] if self._bound is not None else {}
 
     @property
     def is_stale(self) -> bool:
@@ -424,22 +460,26 @@ class Statement:
 
     def _revalidate(self) -> None:
         catalog = self._session.catalog
-        if catalog.schema_version != self._schema_version:
-            # Re-optimize and re-lower.  When the schema change left the
-            # plan and symbol schema intact, the cache key is unchanged and
-            # re-preparation is a pure cache hit.  If the key did change,
-            # the old entry is dead weight for this statement — evict it,
-            # but only from a session-private cache: artifacts are plan-pure,
-            # so an entry in the shared process-wide cache may still serve
-            # other sessions (and that cache is LRU-bounded anyway).
-            old_key = self._prepared.cache_key if self._prepared else None
-            self._prepare()
-            if (old_key is not None and old_key != self._prepared.cache_key
-                    and self._session.cache is not GLOBAL_PLAN_CACHE):
-                self._session.cache.discard(old_key)
-        elif catalog.version != self._version:
-            self._env = self._session.environment()
-            self._version = catalog.version
+        if (catalog.schema_version == self._schema_version
+                and catalog.version == self._version):
+            return  # fast path: nothing moved, no locking on the hot path
+        with self._session._lock:
+            if catalog.schema_version != self._schema_version:
+                # Re-optimize and re-lower.  When the schema change left the
+                # plan and symbol schema intact, the cache key is unchanged and
+                # re-preparation is a pure cache hit.  If the key did change,
+                # the old entry is dead weight for this statement — evict it,
+                # but only from a session-private cache: artifacts are plan-pure,
+                # so an entry in the shared process-wide cache may still serve
+                # other sessions (and that cache is LRU-bounded anyway).
+                old_key = self._prepared.cache_key if self._prepared else None
+                self._prepare()
+                if (old_key is not None and old_key != self._prepared.cache_key
+                        and self._session.cache is not GLOBAL_PLAN_CACHE):
+                    self._session.cache.discard(old_key)
+            elif catalog.version != self._version:
+                self._bound = (self._bound[0], self._session.environment())
+                self._version = catalog.version
 
     # -- execution -------------------------------------------------------------
 
@@ -465,12 +505,12 @@ class Statement:
         override the catalog value for this execution only.
         """
         self._revalidate()
-        env = self._env
+        prepared, env = self._bound
         if scalar_params:
             self._check_params(scalar_params)
             env = dict(env)
             env.update(scalar_params)
-        return self._finish(self._prepared.run(env))
+        return self._finish(prepared.run(env))
 
     def execute_many(self, param_batches: Iterable[Mapping[str, float]]) -> list:
         """Execute once per parameter binding, amortizing environment setup.
@@ -483,7 +523,7 @@ class Statement:
         earlier batch are restored from the base environment first.
         """
         self._revalidate()
-        base = self._env
+        prepared, base = self._bound
         env = dict(base)
         overridden: set[str] = set()
         results = []
@@ -493,7 +533,7 @@ class Statement:
                 env[name] = base[name]
             env.update(params)
             overridden = set(params)
-            results.append(self._finish(self._prepared.run(env)))
+            results.append(self._finish(prepared.run(env)))
         return results
 
     # -- introspection ---------------------------------------------------------

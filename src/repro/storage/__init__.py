@@ -1,6 +1,6 @@
 """Physical data model, flexible storage formats, and Tensor Storage Mappings."""
 
-from .catalog import Catalog
+from .catalog import Catalog, CatalogSnapshot
 from .convert import (
     ALL_FORMATS,
     candidate_formats,
@@ -43,7 +43,7 @@ from .special import (
 )
 
 __all__ = [
-    "Catalog",
+    "Catalog", "CatalogSnapshot",
     "COOFormat", "CSCFormat", "CSFFormat", "CSRFormat", "DCSRFormat", "DenseFormat",
     "DOKFormat", "FORMATS", "StorageFormat", "TensorStats", "TrieFormat", "build_format",
     "sum_duplicates", "ALL_FORMATS", "SPECIAL_FORMATS",

@@ -15,10 +15,20 @@ also bump :attr:`Catalog.schema_version`.  Sessions and prepared statements
 (:mod:`repro.session`) key their memoized statistics, environments and
 lowered plans on these epochs: a ``version`` bump invalidates bound values,
 a ``schema_version`` bump additionally invalidates optimized plans.
+
+The catalog is also safe to share between threads — one catalog, many
+concurrent clients is exactly the serving regime (:mod:`repro.serving`).
+Every mutation applies its data change *and* its epoch bump as one atomic
+step under an internal lock, so no reader can ever pair new data with an
+old epoch (or vice versa), and :meth:`Catalog.snapshot` hands out an
+immutable point-in-time view for snapshot-isolated reads: an in-flight
+execution bound to a snapshot never observes a half-applied
+:meth:`replace`.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -28,7 +38,7 @@ from .formats import StorageFormat
 from .physical import KIND_SCALAR
 
 
-@dataclass
+@dataclass(eq=False)
 class Catalog:
     """A collection of named tensors stored in explicit formats."""
 
@@ -38,30 +48,43 @@ class Catalog:
     version: int = 0
     #: Bumped only when the symbol set / storage formats change.
     schema_version: int = 0
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def _bump(self, *, schema: bool) -> None:
+        """Advance the epochs.  Callers hold :attr:`_lock`; the data change
+        they describe happened in the same locked region, so readers always
+        see mutation + bump as one step (see the pausing-catalog test in
+        ``tests/test_serving.py``)."""
         self.version += 1
         if schema:
             self.schema_version += 1
+
+    def _writable(self) -> None:
+        """Hook for read-only views; :class:`CatalogSnapshot` overrides it."""
 
     # -- registration ---------------------------------------------------------
 
     def add(self, fmt: StorageFormat) -> "Catalog":
         """Register a tensor; its logical name must be unique in the catalog."""
-        if fmt.name in self.tensors:
-            raise StorageError(f"tensor {fmt.name!r} is already registered")
-        if fmt.name in self.scalars:
-            raise StorageError(f"{fmt.name!r} is already registered as a scalar")
-        self.tensors[fmt.name] = fmt
-        self._bump(schema=True)
+        self._writable()
+        with self._lock:
+            if fmt.name in self.tensors:
+                raise StorageError(f"tensor {fmt.name!r} is already registered")
+            if fmt.name in self.scalars:
+                raise StorageError(f"{fmt.name!r} is already registered as a scalar")
+            self.tensors[fmt.name] = fmt
+            self._bump(schema=True)
         return self
 
     def add_scalar(self, name: str, value: float) -> "Catalog":
         """Register a global scalar (e.g. the β of the BATAX kernel)."""
-        if name in self.tensors:
-            raise StorageError(f"{name!r} is already registered as a tensor")
-        self._bump(schema=name not in self.scalars)
-        self.scalars[name] = value
+        self._writable()
+        with self._lock:
+            if name in self.tensors:
+                raise StorageError(f"{name!r} is already registered as a tensor")
+            schema = name not in self.scalars
+            self.scalars[name] = value
+            self._bump(schema=schema)
         return self
 
     #: Re-binding an existing scalar is a value-only mutation (no schema bump),
@@ -70,13 +93,15 @@ class Catalog:
 
     def drop(self, name: str) -> "Catalog":
         """Unregister a tensor or scalar; its physical symbols become free again."""
-        if name in self.tensors:
-            del self.tensors[name]
-        elif name in self.scalars:
-            del self.scalars[name]
-        else:
-            raise StorageError(f"cannot drop {name!r}: not registered")
-        self._bump(schema=True)
+        self._writable()
+        with self._lock:
+            if name in self.tensors:
+                del self.tensors[name]
+            elif name in self.scalars:
+                del self.scalars[name]
+            else:
+                raise StorageError(f"cannot drop {name!r}: not registered")
+            self._bump(schema=True)
         return self
 
     def replace(self, fmt: StorageFormat) -> "Catalog":
@@ -86,12 +111,40 @@ class Catalog:
         tensors); the old format's physical symbols are dropped with it, so
         re-storing a tensor never leaves stale symbol collisions behind.
         """
-        if fmt.name not in self.tensors:
-            raise StorageError(
-                f"cannot replace {fmt.name!r}: not registered (use add() first)")
-        self.tensors[fmt.name] = fmt
-        self._bump(schema=True)
+        self._writable()
+        with self._lock:
+            if fmt.name not in self.tensors:
+                raise StorageError(
+                    f"cannot replace {fmt.name!r}: not registered (use add() first)")
+            self.tensors[fmt.name] = fmt
+            self._bump(schema=True)
         return self
+
+    # -- snapshot isolation ----------------------------------------------------
+
+    def snapshot(self) -> "CatalogSnapshot":
+        """An immutable point-in-time view of this catalog.
+
+        The snapshot pairs shallow copies of the tensor / scalar tables with
+        the epochs they were taken under, as one atomic read — so a request
+        executing against a snapshot can never observe a half-applied
+        :meth:`replace` / :meth:`drop`, and comparing
+        ``snapshot.schema_version`` against the live catalog detects
+        staleness exactly.  Stored formats are never mutated in place (every
+        re-store swaps the whole :class:`~repro.storage.formats.StorageFormat`
+        object), so sharing them between the snapshot and the live catalog is
+        sound.  Mutating a snapshot raises :class:`StorageError`.
+        """
+        with self._lock:
+            return CatalogSnapshot(tensors=dict(self.tensors),
+                                   scalars=dict(self.scalars),
+                                   version=self.version,
+                                   schema_version=self.schema_version)
+
+    def epochs(self) -> tuple[int, int]:
+        """``(version, schema_version)`` read atomically."""
+        with self._lock:
+            return self.version, self.schema_version
 
     def __contains__(self, name: str) -> bool:
         return name in self.tensors or name in self.scalars
@@ -106,62 +159,90 @@ class Catalog:
 
     def globals(self) -> dict[str, Any]:
         """All physical symbols (arrays, hash-maps, tries, sizes) plus scalars."""
-        env: dict[str, Any] = dict(self.scalars)
-        for fmt in self.tensors.values():
-            for symbol, value in fmt.physical().items():
-                if symbol in env:
-                    raise StorageError(f"physical symbol {symbol!r} declared twice")
-                env[symbol] = value
-        return env
+        with self._lock:
+            env: dict[str, Any] = dict(self.scalars)
+            for fmt in self.tensors.values():
+                for symbol, value in fmt.physical().items():
+                    if symbol in env:
+                        raise StorageError(f"physical symbol {symbol!r} declared twice")
+                    env[symbol] = value
+            return env
 
     def mappings(self) -> dict[str, Expr]:
         """Tensor Storage Mappings (named-form ASTs) keyed by tensor name."""
-        return {name: fmt.mapping() for name, fmt in self.tensors.items()}
+        with self._lock:
+            return {name: fmt.mapping() for name, fmt in self.tensors.items()}
 
     def mapping_sources(self) -> dict[str, str]:
         """Tensor Storage Mappings as SDQLite source text."""
-        return {name: fmt.mapping_source() for name, fmt in self.tensors.items()}
+        with self._lock:
+            return {name: fmt.mapping_source() for name, fmt in self.tensors.items()}
 
     def physical_kinds(self) -> dict[str, str]:
         """Collection kind per physical symbol (array / hash / trie / scalar)."""
-        kinds: dict[str, str] = {name: KIND_SCALAR for name in self.scalars}
-        for fmt in self.tensors.values():
-            kinds.update(fmt.physical_kinds())
-        return kinds
+        with self._lock:
+            kinds: dict[str, str] = {name: KIND_SCALAR for name in self.scalars}
+            for fmt in self.tensors.values():
+                kinds.update(fmt.physical_kinds())
+            return kinds
 
     def tensor_profiles(self) -> dict[str, tuple]:
         """Nested cardinality profile per logical tensor."""
-        return {name: fmt.profile() for name, fmt in self.tensors.items()}
+        with self._lock:
+            return {name: fmt.profile() for name, fmt in self.tensors.items()}
 
     def segment_profiles(self) -> dict[str, float]:
         """Average segment length per segmented physical array."""
-        profiles: dict[str, float] = {}
-        for fmt in self.tensors.values():
-            profiles.update(fmt.segment_profiles())
-        return profiles
+        with self._lock:
+            profiles: dict[str, float] = {}
+            for fmt in self.tensors.values():
+                profiles.update(fmt.segment_profiles())
+            return profiles
 
     def scalar_values(self) -> dict[str, float]:
         """Integer/real valued globals (dimension sizes, nnz counters, scalars)."""
-        values: dict[str, float] = dict(self.scalars)
-        for fmt in self.tensors.values():
-            for symbol, value in fmt.physical().items():
-                if isinstance(value, (int, float)):
-                    values[symbol] = value
-        return values
+        with self._lock:
+            values: dict[str, float] = dict(self.scalars)
+            for fmt in self.tensors.values():
+                for symbol, value in fmt.physical().items():
+                    if isinstance(value, (int, float)):
+                        values[symbol] = value
+            return values
 
     def declarations(self) -> str:
         """The full DDL (CREATE statements) for everything in the catalog."""
-        blocks = [fmt.declarations() for fmt in self.tensors.values()]
-        for name in self.scalars:
-            blocks.append(f"CREATE real SCALAR {name};")
-        return "\n\n".join(blocks)
+        with self._lock:
+            blocks = [fmt.declarations() for fmt in self.tensors.values()]
+            for name in self.scalars:
+                blocks.append(f"CREATE real SCALAR {name};")
+            return "\n\n".join(blocks)
 
     def describe(self) -> str:
         """One line per tensor: name, format, shape, nnz, density."""
-        lines = []
-        for name, fmt in sorted(self.tensors.items()):
-            dims = "x".join(str(s) for s in fmt.shape)
-            lines.append(
-                f"{name}: {fmt.format_name} {dims} nnz={fmt.nnz} density={fmt.density:.2e}"
-            )
-        return "\n".join(lines)
+        with self._lock:
+            lines = []
+            for name, fmt in sorted(self.tensors.items()):
+                dims = "x".join(str(s) for s in fmt.shape)
+                lines.append(
+                    f"{name}: {fmt.format_name} {dims} nnz={fmt.nnz} density={fmt.density:.2e}"
+                )
+            return "\n".join(lines)
+
+
+class CatalogSnapshot(Catalog):
+    """An immutable point-in-time view of a :class:`Catalog`.
+
+    Produced by :meth:`Catalog.snapshot`.  Behaves like a catalog for every
+    read (``globals()`` / ``mappings()`` / statistics derivation / epoch
+    comparison) but rejects all mutation, so code holding a snapshot can be
+    audited to be read-only.  Requests in the serving layer
+    (:mod:`repro.serving`) execute against snapshots exclusively.
+    """
+
+    def _writable(self) -> None:
+        raise StorageError(
+            "catalog snapshots are read-only; mutate the live catalog instead")
+
+    def snapshot(self) -> "CatalogSnapshot":
+        """A snapshot of a snapshot is itself (it can never change)."""
+        return self

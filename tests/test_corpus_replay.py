@@ -5,13 +5,18 @@ differential fuzzer once found (see ``docs/testing.md``).  Replaying it
 executes the case under the configuration that used to diverge and asserts
 the whole pipeline now agrees — so every fixed fuzz bug stays fixed, and a
 regression fails tier-1 with a ten-line reproducer in hand.
+
+Concurrent-mode files (``MODE = "concurrent"``) replay through
+``replay_concurrent``: the case is re-raced against its serialized catalog
+update sequence through the serving layer, and every observed result must
+still match some serial prefix state.
 """
 
 import pathlib
 
 import pytest
 
-from repro.fuzz import load_corpus_case, replay
+from repro.fuzz import load_corpus_entry, replay, replay_concurrent
 
 CORPUS_DIR = pathlib.Path(__file__).resolve().parent / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("*.py"))
@@ -21,8 +26,18 @@ def test_corpus_exists():
     assert CORPUS_FILES, f"no corpus files found under {CORPUS_DIR}"
 
 
+def test_corpus_has_concurrent_entry():
+    entries = [load_corpus_entry(path) for path in CORPUS_FILES]
+    assert any(entry.mode == "concurrent" for entry in entries), (
+        "corpus should seed at least one concurrent serial-equivalence case")
+
+
 @pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
 def test_corpus_case_replays_without_divergence(path):
-    case, configs = load_corpus_case(path)
-    divergence = replay(case, configs or None)
+    entry = load_corpus_entry(path)
+    if entry.mode == "concurrent":
+        divergence = replay_concurrent(entry.case, entry.updates,
+                                       entry.configs or None)
+    else:
+        divergence = replay(entry.case, entry.configs or None)
     assert divergence is None, divergence.describe()
