@@ -34,20 +34,28 @@ from .oracle import (
     CaseSkipped,
     CatalogUpdate,
     ConcurrentDivergence,
+    DeltaUpdate,
     Divergence,
     FuzzCase,
+    IvmDivergence,
     OracleConfig,
+    apply_delta_update_state,
     campaign,
     canonical,
     case_seed,
     check_case,
     check_concurrent_case,
+    check_ivm_case,
     concurrent_campaign,
     generate_case,
+    generate_delta_updates,
     generate_updates,
+    ivm_campaign,
     replay,
     replay_concurrent,
+    replay_ivm,
     results_match,
+    shrink_ivm,
 )
 from .shrink import shrink_case
 
@@ -55,12 +63,14 @@ __all__ = [
     "ProgramGenerator", "Schema", "TensorSpec", "generate_program", "generate_schema",
     "assign_formats", "build_catalog", "legal_format_names", "materialize_tensor",
     "FUZZ_OPTIMIZER_OPTIONS", "CampaignReport", "CaseSkipped", "CatalogUpdate",
-    "ConcurrentDivergence", "Divergence",
-    "FuzzCase", "OracleConfig", "campaign", "canonical", "case_seed",
-    "check_case", "check_concurrent_case", "concurrent_campaign",
-    "generate_case", "generate_updates", "replay", "replay_concurrent",
-    "results_match",
-    "shrink_case",
+    "ConcurrentDivergence", "DeltaUpdate", "Divergence",
+    "FuzzCase", "IvmDivergence", "OracleConfig",
+    "apply_delta_update_state", "campaign", "canonical", "case_seed",
+    "check_case", "check_concurrent_case", "check_ivm_case",
+    "concurrent_campaign", "generate_case", "generate_delta_updates",
+    "generate_updates", "ivm_campaign", "replay", "replay_concurrent",
+    "replay_ivm", "results_match",
+    "shrink_case", "shrink_ivm",
     "CorpusEntry", "load_corpus_case", "load_corpus_entry",
     "render_corpus_case", "write_corpus_case",
 ]

@@ -19,6 +19,13 @@ a writer applies random catalog updates, and every observed result must
 match the program evaluated serially at some update prefix::
 
     PYTHONPATH=src python -m repro.fuzz --concurrent --seed 1 --cases 40
+
+``--ivm`` switches to the view-maintenance campaign: each case's program is
+registered as materialized views while random sparse point-updates flow
+through ``Server.update``, and every maintained value must equal full
+re-execution at that state::
+
+    PYTHONPATH=src python -m repro.fuzz --ivm --seed 1 --cases 200
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .oracle import campaign, concurrent_campaign
+from .oracle import campaign, concurrent_campaign, ivm_campaign
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,20 +63,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrent", action="store_true",
                         help="serial-equivalence mode: race executions against "
                              "catalog updates through the serving layer")
+    parser.add_argument("--ivm", action="store_true",
+                        help="view-maintenance mode: maintained views vs. full "
+                             "re-execution after random sparse updates")
     parser.add_argument("--readers", type=int, default=3,
                         help="concurrent mode: reader threads per case (default 3)")
-    parser.add_argument("--updates", type=int, default=5,
-                        help="concurrent mode: catalog updates per case (default 5)")
+    parser.add_argument("--updates", type=int, default=None,
+                        help="concurrent/ivm mode: updates per case "
+                             "(default 5 concurrent, 4 ivm)")
     parser.add_argument("--executions", type=int, default=4,
                         help="concurrent mode: executions per reader (default 4)")
     args = parser.parse_args(argv)
+    if args.concurrent and args.ivm:
+        parser.error("--concurrent and --ivm are mutually exclusive")
 
-    if args.concurrent:
+    if args.ivm:
+        report = ivm_campaign(
+            args.seed, args.cases,
+            updates_per_case=4 if args.updates is None else args.updates,
+            shrink=not args.no_shrink,
+            out_dir=args.out,
+            time_budget=args.time_budget,
+            max_failures=args.max_failures,
+            progress=not args.quiet,
+            case_options={"fuel": args.fuel},
+        )
+    elif args.concurrent:
         report = concurrent_campaign(
             args.seed, args.cases,
             readers=args.readers,
             executions=args.executions,
-            updates_per_case=args.updates,
+            updates_per_case=5 if args.updates is None else args.updates,
             out_dir=args.out,
             time_budget=args.time_budget,
             max_failures=args.max_failures,

@@ -19,6 +19,10 @@ Concurrent-mode repros (from :func:`repro.fuzz.oracle.concurrent_campaign`)
 add two keys — ``MODE = "concurrent"`` and ``UPDATES``, the serialized
 catalog-update sequence the case raced against — and replay through
 :func:`repro.fuzz.oracle.replay_concurrent` instead of :func:`replay`.
+IVM-mode repros (from :func:`repro.fuzz.oracle.ivm_campaign`) likewise add
+``MODE = "ivm"`` and ``DELTAS``, the sparse point-update sequence whose
+maintained views disagreed with full re-execution, and replay through
+:func:`repro.fuzz.oracle.replay_ivm`.
 """
 
 from __future__ import annotations
@@ -30,22 +34,26 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sdqlite.parser import parse_expr
-from .oracle import CatalogUpdate, Divergence, FuzzCase
+from .oracle import CatalogUpdate, DeltaUpdate, Divergence, FuzzCase
 
 
 def render_corpus_case(divergence) -> str:
     """The corpus-file source text for a (normally shrunk) divergence.
 
-    Accepts a :class:`~repro.fuzz.oracle.Divergence` or a
+    Accepts a :class:`~repro.fuzz.oracle.Divergence`, a
     :class:`~repro.fuzz.oracle.ConcurrentDivergence` (duck-typed on the
-    presence of an ``updates`` attribute).
+    presence of an ``updates`` attribute), or an
+    :class:`~repro.fuzz.oracle.IvmDivergence` (a ``deltas`` attribute).
     """
     case = divergence.case
     updates = getattr(divergence, "updates", None)
+    deltas = getattr(divergence, "deltas", None)
     what = (f"raised {divergence.error}" if divergence.error is not None
             else "diverged from the reference result")
     if updates is not None:
         what = f"{what} under concurrent catalog updates"
+    if deltas is not None:
+        what = f"{what} under maintained sparse updates"
     lines = [
         f'"""Shrunk fuzz repro (seed {case.seed}): '
         f'{divergence.method}/{divergence.backend} {what}."""',
@@ -60,6 +68,9 @@ def render_corpus_case(divergence) -> str:
     if updates is not None:
         lines.append('MODE = "concurrent"')
         lines.append(f"UPDATES = {[update.as_dict() for update in updates]!r}")
+    if deltas is not None:
+        lines.append('MODE = "ivm"')
+        lines.append(f"DELTAS = {[delta.as_dict() for delta in deltas]!r}")
     return "\n".join(lines) + "\n"
 
 
@@ -68,7 +79,12 @@ def write_corpus_case(divergence, directory: str | pathlib.Path
     """Serialize a divergence into ``directory`` and return the file path."""
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    mode = "concurrent_" if getattr(divergence, "updates", None) is not None else ""
+    if getattr(divergence, "updates", None) is not None:
+        mode = "concurrent_"
+    elif getattr(divergence, "deltas", None) is not None:
+        mode = "ivm_"
+    else:
+        mode = ""
     name = (f"fuzz_{mode}seed{divergence.case.seed}_{divergence.method}_"
             f"{divergence.backend}.py")
     path = directory / name
@@ -82,8 +98,9 @@ class CorpusEntry:
 
     case: FuzzCase
     configs: list[tuple[str, str]]
-    mode: str = "serial"                               # "serial" | "concurrent"
+    mode: str = "serial"                       # "serial" | "concurrent" | "ivm"
     updates: list[CatalogUpdate] = field(default_factory=list)
+    deltas: list[DeltaUpdate] = field(default_factory=list)
 
 
 def load_corpus_entry(path: str | pathlib.Path) -> CorpusEntry:
@@ -101,7 +118,10 @@ def load_corpus_entry(path: str | pathlib.Path) -> CorpusEntry:
     mode = spec.get("MODE", "serial")
     updates = [CatalogUpdate.from_dict(entry)
                for entry in spec.get("UPDATES", [])]
-    return CorpusEntry(case=case, configs=configs, mode=mode, updates=updates)
+    deltas = [DeltaUpdate.from_dict(entry)
+              for entry in spec.get("DELTAS", [])]
+    return CorpusEntry(case=case, configs=configs, mode=mode, updates=updates,
+                       deltas=deltas)
 
 
 def load_corpus_case(path: str | pathlib.Path

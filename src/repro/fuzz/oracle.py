@@ -704,3 +704,325 @@ def replay_concurrent(case: FuzzCase, updates: Iterable[CatalogUpdate | Mapping]
         config = OracleConfig(**tolerances)
     return check_concurrent_case(case, updates, config=config,
                                  readers=readers, executions=executions)
+
+
+# ---------------------------------------------------------------------------
+# IVM campaigns: maintained views vs. full re-execution after each delta
+# ---------------------------------------------------------------------------
+#
+# The IVM subsystem (repro.ivm) promises that a maintained view's value
+# after a sparse point-update equals the program re-executed in full
+# against the updated catalog — whether the refresh went through the
+# derived delta statement or the cost-based fallback.  The IVM oracle
+# checks exactly that: random update sequences are applied through
+# repro.serving.Server.update while registered views (one per
+# method/backend pair) must match the serial reference evaluated at every
+# post-update state.  The cost fallback is disabled during fuzzing so the
+# delta path — the interesting machinery — runs whenever derivation
+# succeeds; correctness must hold regardless of which path the cost model
+# would have picked.
+
+
+@dataclass(frozen=True)
+class DeltaUpdate:
+    """One serialized sparse point-update of an IVM fuzz case.
+
+    ``coords`` holds ``n`` integer coordinate tuples into tensor ``name``
+    and ``values`` the ``n`` additive deltas — the arguments of
+    :meth:`repro.serving.Server.update` in corpus-serializable form.
+    """
+
+    name: str
+    coords: tuple[tuple[int, ...], ...]
+    values: tuple[float, ...]
+
+    def as_dict(self) -> dict:
+        return {"name": self.name,
+                "coords": [list(coord) for coord in self.coords],
+                "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "DeltaUpdate":
+        return cls(name=spec["name"],
+                   coords=tuple(tuple(int(c) for c in coord)
+                                for coord in spec["coords"]),
+                   values=tuple(float(v) for v in spec["values"]))
+
+
+def apply_delta_update_state(state: FuzzCase, update: DeltaUpdate) -> FuzzCase:
+    """The successor state (functional — ``state`` is not modified)."""
+    tensors = dict(state.tensors)
+    array = np.asarray(tensors[update.name], dtype=np.float64).copy()
+    coords = np.asarray(update.coords, dtype=np.int64).reshape(-1, array.ndim)
+    np.add.at(array, tuple(coords.T), np.asarray(update.values, dtype=np.float64))
+    tensors[update.name] = array
+    return state.replace(tensors=tensors)
+
+
+def generate_delta_updates(case: FuzzCase, rng: random.Random, count: int,
+                           *, max_entries: int = 3) -> list[DeltaUpdate]:
+    """A random, serially-applicable delta-update sequence for ``case``.
+
+    Updates to tensors stored in a *structural* special format are
+    restricted to the tensor's current non-zero support, so the format's
+    precondition (e.g. lower-triangularity) survives every update; general
+    formats mix on-support increments, exact cancellations (an entry
+    driven to precisely zero — a deletion, exercising the ring's
+    subtraction), and fresh off-support insertions.
+    """
+    from ..storage.special import SPECIAL_FORMATS
+
+    updates: list[DeltaUpdate] = []
+    state = case
+    names = sorted(state.tensors)
+    for _ in range(count):
+        if not names:
+            break
+        name = rng.choice(names)
+        array = np.asarray(state.tensors[name], dtype=np.float64)
+        special = state.formats.get(name) in SPECIAL_FORMATS
+        support = np.argwhere(array != 0)
+        if special and not len(support):
+            continue  # no legal coordinates to touch
+        entries: dict[tuple[int, ...], float] = {}
+        for _ in range(rng.randint(1, max_entries)):
+            on_support = len(support) and (special or rng.random() < 0.4)
+            if on_support:
+                coord = tuple(int(c) for c in support[rng.randrange(len(support))])
+            else:
+                coord = tuple(rng.randrange(extent) for extent in array.shape)
+            if rng.random() < 0.25 and array[coord] != 0:
+                value = -float(array[coord])  # exact cancellation: a deletion
+            else:
+                value = rng.choice([0.5, 1.0, 2.0, -0.5, -1.0, -2.0])
+            entries[coord] = entries.get(coord, 0.0) + value
+        update = DeltaUpdate(name, tuple(entries), tuple(entries.values()))
+        updates.append(update)
+        state = apply_delta_update_state(state, update)
+    return updates
+
+
+@dataclass
+class IvmDivergence:
+    """A maintained view that disagrees with full re-execution.
+
+    ``step`` is the update index after which the disagreement was observed
+    (``-1`` = the initial materialization, before any update).
+    """
+
+    case: FuzzCase
+    deltas: list[DeltaUpdate]
+    step: int
+    method: str
+    backend: str
+    actual: Any = None
+    error: str | None = None
+    expected: Any = None
+
+    def describe(self) -> str:
+        head = (f"seed={self.case.seed} ivm {self.method}/{self.backend} "
+                f"step={self.step} formats={self.case.formats} "
+                f"deltas={[d.as_dict() for d in self.deltas]}")
+        if self.error is not None:
+            return f"{head}\n  raised: {self.error}\n  program: {self.case.source}"
+        return (f"{head}\n  view:     {self.actual!r}\n"
+                f"  expected: {self.expected!r}\n"
+                f"  program: {self.case.source}")
+
+
+def _ivm_state_results(case: FuzzCase, deltas: list[DeltaUpdate],
+                       config: OracleConfig) -> list[Any]:
+    """Reference result per prefix state s0..sm (full re-execution oracle)."""
+    expected = []
+    state = case
+    for index in range(len(deltas) + 1):
+        runner = _CaseRunner(state, config)
+        try:
+            expected.append(canonical(runner.run(*REFERENCE),
+                                      abs_tol=config.abs_tol))
+        except Exception as exc:  # noqa: BLE001 - no reference, no signal
+            raise CaseSkipped(
+                f"ivm reference failed at state {index}: {exc!r}") from exc
+        if index < len(deltas):
+            state = apply_delta_update_state(state, deltas[index])
+    return expected
+
+
+def check_ivm_case(case: FuzzCase, deltas: list[DeltaUpdate], *,
+                   config: OracleConfig | None = None,
+                   max_views: int = 3) -> IvmDivergence | None:
+    """Maintain one case's views across ``deltas``; assert the IVM invariant.
+
+    One materialized view per (method, backend) pair — minus the
+    composed-plan pseudo-method — is registered on a fresh
+    :class:`repro.serving.Server`; after the initial materialization and
+    after every :meth:`~repro.serving.Server.update`, each view's value
+    must equal the program re-executed in full (the serial reference) at
+    that state.  The registry's cost fallback is disabled so the derived
+    delta statements actually run; the first disagreement (or any raised
+    error) is returned as an :class:`IvmDivergence`.
+    """
+    from ..serving import Server
+
+    config = config or OracleConfig()
+    pairs = [(method, backend) for method, backend in
+             (list(config.pairs()) or [("greedy", "compile")])
+             if method not in ("unoptimized", "egraph-legacy")][:max_views]
+    if not pairs:
+        pairs = [("greedy", "compile")]
+    expected = _ivm_state_results(case, deltas, config)
+
+    server = Server(build_catalog(case.tensors, case.formats, case.scalars),
+                    optimizer_options=dict(config.optimizer_options))
+    try:
+        registry = server._view_registry()
+        # Correctness must hold on *both* refresh paths; forcing the delta
+        # path maximizes coverage of the delta machinery (the full-refresh
+        # path is the plain serving pipeline, fuzzed elsewhere).
+        registry.fallback_ratio = 1e12
+        registry.max_delta_fraction = float("inf")
+        views = []
+        for index, (method, backend) in enumerate(pairs):
+            try:
+                views.append(server.create_view(f"__ivm_{index}", case.program,
+                                                method=method, backend=backend))
+            except Exception as exc:  # noqa: BLE001 - errors are divergences
+                return IvmDivergence(case, deltas, -1, method, backend,
+                                     error=f"{type(exc).__name__}: {exc}")
+        for step in range(-1, len(deltas)):
+            if step >= 0:
+                update = deltas[step]
+                try:
+                    server.update(update.name,
+                                  np.asarray(update.coords, dtype=np.int64),
+                                  np.asarray(update.values, dtype=np.float64))
+                except Exception as exc:  # noqa: BLE001
+                    return IvmDivergence(case, deltas, step, "*", "*",
+                                         error=f"{type(exc).__name__}: {exc}")
+            witness = expected[step + 1]
+            for (method, backend), view in zip(pairs, views):
+                try:
+                    value = canonical(view.value(), abs_tol=config.abs_tol)
+                except Exception as exc:  # noqa: BLE001
+                    return IvmDivergence(case, deltas, step, method, backend,
+                                         error=f"{type(exc).__name__}: {exc}")
+                if not results_match(witness, value, rel_tol=config.rel_tol,
+                                     abs_tol=config.abs_tol):
+                    return IvmDivergence(case, deltas, step, method, backend,
+                                         actual=value, expected=witness)
+    finally:
+        server.close()
+    return None
+
+
+def shrink_ivm(divergence: IvmDivergence, *,
+               config: OracleConfig | None = None,
+               max_attempts: int = 64) -> IvmDivergence:
+    """Greedy delta-debugging of an IVM failure's update sequence.
+
+    Tries dropping whole updates, then individual delta entries, keeping
+    any reduction under which :func:`check_ivm_case` still diverges.  The
+    program and data are left alone (the case generator's serial shrinker
+    does not understand update sequences); the update sequence is usually
+    where the noise is.
+    """
+    config = config or OracleConfig()
+    best = divergence
+    attempts = 0
+
+    def still_fails(deltas: list[DeltaUpdate]) -> IvmDivergence | None:
+        nonlocal attempts
+        attempts += 1
+        try:
+            return check_ivm_case(best.case, deltas, config=config)
+        except CaseSkipped:
+            return None
+
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        for index in range(len(best.deltas) - 1, -1, -1):
+            if attempts >= max_attempts:
+                break
+            candidate = best.deltas[:index] + best.deltas[index + 1:]
+            reduced = still_fails(candidate)
+            if reduced is not None:
+                best, changed = reduced, True
+    for index, update in enumerate(list(best.deltas)):
+        for position in range(len(update.coords) - 1, -1, -1):
+            if attempts >= max_attempts or len(best.deltas[index].coords) <= 1:
+                break
+            update = best.deltas[index]
+            slim = DeltaUpdate(update.name,
+                               update.coords[:position] + update.coords[position + 1:],
+                               update.values[:position] + update.values[position + 1:])
+            candidate = best.deltas[:index] + [slim] + best.deltas[index + 1:]
+            reduced = still_fails(candidate)
+            if reduced is not None:
+                best = reduced
+    return best
+
+
+def ivm_campaign(seed: int, cases: int, *, config: OracleConfig | None = None,
+                 updates_per_case: int = 4, shrink: bool = True,
+                 out_dir: str | None = None, time_budget: float | None = None,
+                 max_failures: int = 5, progress: bool = False,
+                 case_options: Mapping[str, Any] | None = None
+                 ) -> CampaignReport:
+    """A seeded campaign of :func:`check_ivm_case` points.
+
+    Case and update generation derive deterministically from ``seed``, and
+    checking is single-threaded, so the whole campaign — including shrinks
+    — replays exactly.  Failures are shrunk (update-sequence only) and
+    serialized as ``MODE = "ivm"`` corpus files when ``out_dir`` is given.
+    """
+    from .corpus import write_corpus_case
+
+    base_config = config or OracleConfig()
+    report = CampaignReport(seed=seed)
+    start = time.perf_counter()
+    options = dict(case_options or {})
+    for index in range(cases):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        case = generate_case(case_seed(seed, index), **options)
+        rng = random.Random(case.seed ^ 0x1D3A5EED)
+        deltas = generate_delta_updates(case, rng, updates_per_case)
+        try:
+            divergence = check_ivm_case(case, deltas, config=base_config)
+        except CaseSkipped:
+            report.skipped += 1
+            report.cases_run += 1
+            continue
+        report.cases_run += 1
+        if divergence is not None:
+            if shrink:
+                divergence = shrink_ivm(divergence, config=base_config)
+            report.divergences.append(divergence)
+            if out_dir is not None:
+                report.corpus_paths.append(str(write_corpus_case(divergence, out_dir)))
+            if len(report.divergences) >= max_failures:
+                break
+        if progress and (index + 1) % 10 == 0:
+            elapsed = time.perf_counter() - start
+            print(f"  [{index + 1}/{cases}] {elapsed:.1f}s "
+                  f"({report.skipped} skipped, "
+                  f"{len(report.divergences)} divergences)")
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def replay_ivm(case: FuzzCase, deltas: Iterable[DeltaUpdate | Mapping],
+               configs: Iterable[tuple[str, str]] | None = None,
+               **tolerances) -> IvmDivergence | None:
+    """Re-run a (corpus-loaded) IVM case and re-check the IVM invariant."""
+    deltas = [delta if isinstance(delta, DeltaUpdate)
+              else DeltaUpdate.from_dict(delta) for delta in deltas]
+    if configs:
+        configs = list(configs)
+        methods = tuple(dict.fromkeys(method for method, _ in configs))
+        backends = tuple(dict.fromkeys(backend for _, backend in configs))
+        config = OracleConfig(backends=backends, methods=methods, **tolerances)
+    else:
+        config = OracleConfig(**tolerances)
+    return check_ivm_case(case, deltas, config=config)

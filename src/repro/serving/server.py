@@ -200,6 +200,8 @@ class Server:
         self._statistics: OrderedDict[int, Statistics] = OrderedDict()
         self._prepared_epochs: dict[tuple, int] = {}
         self._memo_lock = threading.Lock()
+        self._views = None  # lazy repro.ivm.views.ViewRegistry
+        self._views_lock = threading.Lock()
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -211,10 +213,15 @@ class Server:
         self.close()
 
     def close(self) -> None:
-        """Stop admitting requests and drop cached plans/environments."""
+        """Stop admitting requests and drop cached plans/environments/views."""
         self._closed = True
         self.plans.clear()
         self.lowered.clear()
+        with self._views_lock:
+            registry = self._views
+            self._views = None
+        if registry is not None:
+            registry.session.close()
         with self._memo_lock:
             self._envs.clear()
             self._statistics.clear()
@@ -263,6 +270,73 @@ class Server:
                     f"recommendation names {name!r}, which is not a registered tensor")
             if current.format_name != kind:
                 self.replace_format(reformat(current, kind))
+        return self
+
+    def update(self, name: str, coords, values) -> "Server":
+        """Apply a sparse point-update to tensor ``name``, maintaining views.
+
+        The update is a value-only mutation (:meth:`repro.storage.Catalog
+        .update`): the schema epoch is untouched, so shared plans survive
+        and in-flight snapshot readers are unaffected.  Every registered
+        materialized view (:meth:`create_view`) is refreshed *before* the
+        new epoch becomes observable to view readers — by its prepared
+        delta statement when the cost model says that pays, by full
+        re-execution otherwise (``docs/ivm.md``).  Maintenance counters and
+        latency land in :attr:`stats`.
+        """
+        if self._closed:
+            raise ServerClosed("cannot update a closed server")
+        with self._views_lock:
+            registry = self._views
+        if registry is not None and len(registry):
+            registry.update(name, coords, values)
+        else:
+            self.catalog.update(name, coords, values)
+        return self
+
+    # -- materialized views (incremental view maintenance) ---------------------
+
+    def _view_registry(self):
+        from ..ivm.views import ViewRegistry
+        from ..session import Session
+
+        with self._views_lock:
+            if self._views is None:
+                # A private maintenance session over the *live* catalog; its
+                # lowered artifacts share the server's cache.
+                maintenance = Session(self.catalog, method=self.method,
+                                      backend=self.backend, cache=self.lowered,
+                                      optimizer_options=self.optimizer_options)
+                self._views = ViewRegistry(
+                    maintenance,
+                    on_maintenance=self.stats.record_maintenance)
+            return self._views
+
+    def create_view(self, name: str, program: "str | Expr", *,
+                    method: str | None = None, backend: str | None = None,
+                    dense_shape: tuple[int, ...] | None = None,
+                    optimizer_options: Mapping[str, Any] | None = None):
+        """Register ``program`` as a materialized view, maintained by :meth:`update`.
+
+        Returns the :class:`repro.ivm.views.MaterializedView`; read its
+        current result with ``server.view(name).value()``.
+        """
+        if self._closed:
+            raise ServerClosed("cannot create a view on a closed server")
+        program = parse_expr(program) if isinstance(program, str) else program
+        view = self._view_registry().create(
+            name, program, method=method, backend=backend,
+            dense_shape=dense_shape, optimizer_options=optimizer_options)
+        self.stats.count("views")
+        return view
+
+    def view(self, name: str):
+        """The registered :class:`repro.ivm.views.MaterializedView` named ``name``."""
+        return self._view_registry().get(name)
+
+    def drop_view(self, name: str) -> "Server":
+        """Unregister a materialized view."""
+        self._view_registry().drop(name)
         return self
 
     def purge_stale_plans(self) -> int:

@@ -82,11 +82,20 @@ class ServerStats:
     ``errors``          admitted requests that raised during execution
     ``peak_in_flight``  high-water mark of concurrently executing requests
     ``sessions``        client sessions opened over the server's lifetime
+    ``views``           materialized views registered over the lifetime
+    ``views_maintained`` view refreshes performed by :meth:`Server.update`
+    ``delta_executions`` of those, served by a prepared delta statement
+    ``full_refreshes``  of those, served by full re-execution (fallback)
     ==================  =====================================================
+
+    Maintenance latency (one observation per :meth:`Server.update`, covering
+    every view it refreshed) is recorded in its own window, surfaced as
+    ``maintenance_*`` fields of :meth:`snapshot`.
     """
 
     def __init__(self, *, latency_window: int = 8192):
         self.latency = LatencyRecorder(window=latency_window)
+        self.maintenance = LatencyRecorder(window=latency_window)
         self.requests = 0
         self.plan_hits = 0
         self.plan_misses = 0
@@ -97,7 +106,20 @@ class ServerStats:
         self.in_flight = 0
         self.peak_in_flight = 0
         self.sessions = 0
+        self.views = 0
+        self.views_maintained = 0
+        self.delta_executions = 0
+        self.full_refreshes = 0
         self._lock = threading.Lock()
+
+    def record_maintenance(self, delta_count: int, full_count: int,
+                           seconds: float) -> None:
+        """Record one view-maintenance pass (an IVM :meth:`Server.update`)."""
+        with self._lock:
+            self.views_maintained += delta_count + full_count
+            self.delta_executions += delta_count
+            self.full_refreshes += full_count
+        self.maintenance.record(seconds * 1_000.0)
 
     def count(self, field: str, delta: int = 1) -> None:
         """Atomically add ``delta`` to one of the counters above."""
@@ -125,6 +147,7 @@ class ServerStats:
     def snapshot(self) -> dict[str, Any]:
         """Every counter plus p50/p99/mean latency, as one plain dict."""
         p50, p99 = self.latency.percentiles(0.50, 0.99)
+        m50, m99 = self.maintenance.percentiles(0.50, 0.99)
         with self._lock:
             return {
                 "requests": self.requests,
@@ -139,8 +162,16 @@ class ServerStats:
                 "in_flight": self.in_flight,
                 "peak_in_flight": self.peak_in_flight,
                 "sessions": self.sessions,
+                "views": self.views,
+                "views_maintained": self.views_maintained,
+                "delta_executions": self.delta_executions,
+                "full_refreshes": self.full_refreshes,
                 "latency_count": self.latency.count,
                 "latency_mean_ms": round(self.latency.mean_ms, 4),
                 "latency_p50_ms": round(p50, 4),
                 "latency_p99_ms": round(p99, 4),
+                "maintenance_count": self.maintenance.count,
+                "maintenance_mean_ms": round(self.maintenance.mean_ms, 4),
+                "maintenance_p50_ms": round(m50, 4),
+                "maintenance_p99_ms": round(m99, 4),
             }

@@ -150,6 +150,7 @@ class Session:
         self._engines: dict[str, ExecutionEngine] = {}
         self._opt_memo: dict[Any, OptimizationResult] = {}
         self._opt_memo_version = -1
+        self._views = None  # lazy repro.ivm.views.ViewRegistry
         # One re-entrant lock guards every piece of derived state above
         # (statistics, environment, engines, the optimizer memo) plus the
         # catalog-mutation + incremental-stats-patch pairs, so one Session
@@ -244,6 +245,70 @@ class Session:
                 self._stats.remove_format(old)
                 self._stats.apply_format(fmt)
                 self._stats_version = self.catalog.version
+        return self
+
+    def _apply_update(self, name: str, coords, values) -> None:
+        """Catalog point-update + incremental statistics patch (no views)."""
+        with self._lock:
+            old = self.catalog.tensors.get(name)
+            in_sync = self._stats_in_sync()
+            self.catalog.update(name, coords, values)
+            if in_sync and old is not None:
+                self._stats.remove_format(old)
+                self._stats.apply_format(self.catalog.tensors[name])
+                self._stats_version = self.catalog.version
+
+    def update(self, name: str, coords, values) -> "Session":
+        """Apply a sparse point-update to tensor ``name`` (value-only mutation).
+
+        ``coords`` is an ``(n, rank)`` integer array and ``values`` the
+        matching additive deltas — see :meth:`repro.storage.Catalog.update`.
+        Prepared statements survive (only their environment refreshes), and
+        every registered materialized view is maintained — by its prepared
+        delta statement when that pays, by full re-execution otherwise
+        (``docs/ivm.md``).
+        """
+        # Lock order is registry -> session (view reads take the registry
+        # lock first), so the registry is read without the session lock here.
+        registry = self._views
+        if registry is not None and len(registry):
+            registry.update(name, coords, values)
+        else:
+            self._apply_update(name, coords, values)
+        return self
+
+    # -- materialized views (incremental view maintenance) ---------------------
+
+    def views(self):
+        """This session's :class:`repro.ivm.views.ViewRegistry` (created lazily)."""
+        from .ivm.views import ViewRegistry
+
+        with self._lock:
+            if self._views is None:
+                self._views = ViewRegistry(self)
+            return self._views
+
+    def create_view(self, name: str, program: "str | Expr", *,
+                    method: str | None = None, backend: str | None = None,
+                    dense_shape: tuple[int, ...] | None = None,
+                    optimizer_options: Mapping[str, Any] | None = None):
+        """Register ``program`` as a materialized view named ``name``.
+
+        The view is materialized immediately and maintained incrementally
+        across :meth:`update` calls; read it with ``session.view(name)
+        .value()``.  Returns the :class:`repro.ivm.views.MaterializedView`.
+        """
+        return self.views().create(name, _as_program(program), method=method,
+                                   backend=backend, dense_shape=dense_shape,
+                                   optimizer_options=optimizer_options)
+
+    def view(self, name: str):
+        """The registered :class:`repro.ivm.views.MaterializedView` named ``name``."""
+        return self.views().get(name)
+
+    def drop_view(self, name: str) -> "Session":
+        """Unregister a materialized view (its tensor data is untouched)."""
+        self.views().drop(name)
         return self
 
     def apply_recommendation(self, recommendation) -> "Session":

@@ -110,14 +110,51 @@ class Catalog:
         The logical name must already be registered (use :meth:`add` for new
         tensors); the old format's physical symbols are dropped with it, so
         re-storing a tensor never leaves stale symbol collisions behind.
+
+        A swap that keeps the *schema* — same format class, same shape, same
+        physical symbol layout and storage mapping — is a value-only
+        mutation: only :attr:`version` bumps, so prepared statements refresh
+        their environment without re-optimizing and shared plans survive.
+        Changing the format class or shape bumps :attr:`schema_version` as
+        before.
         """
         self._writable()
         with self._lock:
-            if fmt.name not in self.tensors:
+            old = self.tensors.get(fmt.name)
+            if old is None:
                 raise StorageError(
                     f"cannot replace {fmt.name!r}: not registered (use add() first)")
+            schema = not (type(old) is type(fmt)
+                          and tuple(old.shape) == tuple(fmt.shape)
+                          and old.physical_kinds() == fmt.physical_kinds()
+                          and old.mapping_source() == fmt.mapping_source())
             self.tensors[fmt.name] = fmt
-            self._bump(schema=True)
+            self._bump(schema=schema)
+        return self
+
+    def update(self, name: str, coords, values) -> "Catalog":
+        """Apply a sparse point-update: add ``values`` at ``coords`` to a tensor.
+
+        ``coords`` is an ``(n, rank)`` integer array (or nested sequence) and
+        ``values`` the matching ``n`` additive deltas — existing entries are
+        incremented, absent ones inserted, entries cancelling to zero
+        dropped, all in the tensor's current storage format (see
+        :func:`repro.storage.convert.apply_delta`).  This is a *value-only*
+        mutation: the format class, shape and physical symbol layout are
+        unchanged, so only :attr:`version` bumps and prepared plans —
+        including the serving layer's shared plans — survive.  This is the
+        fine-grained write API incremental view maintenance builds on
+        (:mod:`repro.ivm`).
+        """
+        from .convert import apply_delta
+
+        self._writable()
+        with self._lock:
+            fmt = self.tensors.get(name)
+            if fmt is None:
+                raise StorageError(f"cannot update {name!r}: not a registered tensor")
+            self.tensors[name] = apply_delta(fmt, coords, values)
+            self._bump(schema=False)
         return self
 
     # -- snapshot isolation ----------------------------------------------------

@@ -135,6 +135,46 @@ def densify(fmt: StorageFormat) -> DenseFormat:
     return DenseFormat(fmt.name, fmt.to_dense())
 
 
+def apply_delta(fmt: StorageFormat, coords, values) -> StorageFormat:
+    """Add a sparse delta to a tensor, returning a new format of the same class.
+
+    ``coords`` is an ``(n, rank)`` integer array (or nested sequence) and
+    ``values`` the ``n`` additive deltas.  Existing entries are incremented,
+    absent ones inserted, and entries cancelling to exact zero dropped — the
+    same coalescing semantics as
+    :func:`repro.storage.formats.sum_duplicates`, so the result equals
+    re-building the format from the updated dense tensor.  The format class
+    and shape are preserved, which is what lets
+    :meth:`repro.storage.Catalog.update` treat this as a value-only
+    mutation.  Special formats re-validate their structural preconditions
+    and raise :class:`~repro.sdqlite.errors.StorageError` when the delta
+    breaks them (e.g. writing above the diagonal of a lower-triangular
+    tensor).
+    """
+    rank = len(fmt.shape)
+    coords = np.asarray(coords, dtype=np.int64).reshape(-1, rank)
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if len(coords) != len(values):
+        raise StorageError(
+            f"delta has {len(coords)} coordinates but {len(values)} values")
+    if len(coords) and ((coords < 0).any()
+                        or (coords >= np.asarray(fmt.shape)).any()):
+        raise StorageError(
+            f"delta coordinates out of range for shape {tuple(fmt.shape)}")
+    if not len(coords):
+        return fmt
+    if isinstance(fmt, DenseFormat):
+        dense = fmt.array.copy()
+        np.add.at(dense, tuple(coords.T), values)
+        return DenseFormat(fmt.name, dense)
+    base_coords, base_values = coo_arrays(fmt)
+    all_coords = (np.concatenate([base_coords, coords])
+                  if base_coords.size else coords)
+    all_values = (np.concatenate([base_values, values])
+                  if base_values.size else values)
+    return type(fmt).from_coo(fmt.name, all_coords, all_values, fmt.shape)
+
+
 def reformat(fmt: StorageFormat, kind: str) -> StorageFormat:
     """Re-store a tensor in the format named ``kind``, keeping name and contents.
 

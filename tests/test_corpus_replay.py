@@ -9,14 +9,17 @@ regression fails tier-1 with a ten-line reproducer in hand.
 Concurrent-mode files (``MODE = "concurrent"``) replay through
 ``replay_concurrent``: the case is re-raced against its serialized catalog
 update sequence through the serving layer, and every observed result must
-still match some serial prefix state.
+still match some serial prefix state.  IVM-mode files (``MODE = "ivm"``)
+replay through ``replay_ivm``: the case's program is maintained as
+materialized views across its serialized sparse-update sequence, and every
+maintained value must equal full re-execution.
 """
 
 import pathlib
 
 import pytest
 
-from repro.fuzz import load_corpus_entry, replay, replay_concurrent
+from repro.fuzz import load_corpus_entry, replay, replay_concurrent, replay_ivm
 
 CORPUS_DIR = pathlib.Path(__file__).resolve().parent / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("*.py"))
@@ -32,12 +35,21 @@ def test_corpus_has_concurrent_entry():
         "corpus should seed at least one concurrent serial-equivalence case")
 
 
+def test_corpus_has_ivm_entry():
+    entries = [load_corpus_entry(path) for path in CORPUS_FILES]
+    assert any(entry.mode == "ivm" for entry in entries), (
+        "corpus should seed at least one view-maintenance case")
+
+
 @pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
 def test_corpus_case_replays_without_divergence(path):
     entry = load_corpus_entry(path)
     if entry.mode == "concurrent":
         divergence = replay_concurrent(entry.case, entry.updates,
                                        entry.configs or None)
+    elif entry.mode == "ivm":
+        divergence = replay_ivm(entry.case, entry.deltas,
+                                entry.configs or None)
     else:
         divergence = replay(entry.case, entry.configs or None)
     assert divergence is None, divergence.describe()
