@@ -1,10 +1,13 @@
-"""Execution-backend shootout: interpret vs compile vs vectorize.
+"""Execution-backend shootout: interpret vs compile vs vectorize vs typed.
 
-Runs every Fig. 7 kernel through the STOREL pipeline three times — once per
-execution backend — on one representative dataset each, checks all backends
-against the NumPy oracle, prints the runtime table and the
-vectorize-over-compile speedups, and records the raw rows in
-``BENCH_backends.json`` at the repository root.
+Runs every Fig. 7 kernel through the STOREL pipeline once per execution
+backend on one representative dataset each, checks all backends against the
+NumPy oracle, prints the runtime table, the vectorize-over-compile and
+typed-over-best speedups, and records the raw rows in
+``BENCH_backends.json`` at the repository root.  The first execution of
+every (kernel, backend) pair is timed separately as ``compile_ms`` and
+excluded from the steady-state ``mean_ms`` (the typed backend JIT-compiles
+there when numba is available).
 
 Run either as a pytest module (``pytest benchmarks/bench_backends.py -s``)
 or directly (``python benchmarks/bench_backends.py``).  Scale factors and
@@ -63,6 +66,7 @@ def run_shootout(repeats: int = REPEATS) -> dict:
         "machine": platform.machine(),
         "rows": [m.as_row() for m in measurements],
         "vectorize_speedup_over_compile": {},
+        "typed_speedup_over_best": {},
     }
     by_kernel: dict[str, dict[str, float]] = {}
     for measurement in measurements:
@@ -80,6 +84,21 @@ def run_shootout(repeats: int = REPEATS) -> dict:
     if speedup_rows:
         table += "\n" + format_table(
             speedup_rows, title="vectorize speedup over the compile backend")
+    typed_rows = []
+    for kernel, systems in by_kernel.items():
+        typed = systems.get("STOREL[typed]")
+        others = {name: ms for name, ms in systems.items()
+                  if name != "STOREL[typed]"}
+        if typed and others:
+            best_name, best_ms = min(others.items(), key=lambda kv: kv[1])
+            speedup = best_ms / typed
+            report["typed_speedup_over_best"][kernel] = round(speedup, 3)
+            typed_rows.append({"kernel": kernel, "best_other": best_name,
+                               "best_ms": best_ms, "typed_ms": typed,
+                               "speedup": speedup})
+    if typed_rows:
+        table += "\n" + format_table(
+            typed_rows, title="typed speedup over the best other backend")
     print_report(table)
     return report
 
@@ -95,6 +114,19 @@ def test_backend_shootout(benchmark):
     # Every backend must have executed every kernel it was asked to run.
     assert len(ok) == len(report["rows"]), \
         f"backend failures: {[r for r in report['rows'] if r['status'] != 'ok']}"
+    # Kernel-backend wins must come from kernelized plans, not Python-loop
+    # fallbacks: the fastest vectorize/typed row per kernel reports zero
+    # fallback sums and merges.
+    by_kernel: dict[str, list[dict]] = {}
+    for row in ok:
+        by_kernel.setdefault(row["kernel"], []).append(row)
+    for kernel, rows in by_kernel.items():
+        winner = min(rows, key=lambda r: r["mean_ms"])
+        if winner["fallback_sums"] is not None:
+            assert winner["fallback_sums"] == 0 and winner["fallback_merges"] == 0, \
+                f"{kernel}: winning backend {winner['system']} fell back to " \
+                f"Python loops ({winner['fallback_sums']} sums, " \
+                f"{winner['fallback_merges']} merges)"
 
 
 def main() -> None:

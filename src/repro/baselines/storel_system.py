@@ -33,8 +33,9 @@ class StorelSystem(System):
         anyway).
     backend:
         Execution backend: ``"compile"`` (generated Python loops, default),
-        ``"interpret"`` (reference interpreter) or ``"vectorize"``
-        (whole-array NumPy with automatic loop fallback); see
+        ``"interpret"`` (reference interpreter), ``"vectorize"``
+        (whole-array NumPy with automatic loop fallback) or ``"typed"``
+        (flat typed buffers, JIT-compiled when numba is available); see
         ``docs/backends.md``.
     session:
         An optional shared :class:`~repro.session.Session`.  When given and

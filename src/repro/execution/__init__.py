@@ -1,17 +1,20 @@
 """Physical plan execution: interpretation, code generation, vectorization.
 
-Three backends (selected with ``backend=`` on :class:`ExecutionEngine`,
+Four backends (selected with ``backend=`` on :class:`ExecutionEngine`,
 :func:`repro.storel.run` and the benchmark systems; see ``docs/backends.md``):
 
 * ``"interpret"`` — the reference interpreter (the semantics oracle),
 * ``"compile"``   — generated Python loops (default),
-* ``"vectorize"`` — whole-array NumPy with automatic per-sum loop fallback.
+* ``"vectorize"`` — whole-array NumPy with automatic per-sum loop fallback,
+* ``"typed"``     — lane-expanding kernels over flat typed columnar buffers
+  (numba-JIT when available, NumPy-vectorized otherwise).
 
 Prepared plans are cached across calls by :class:`PlanCache`
 (:data:`GLOBAL_PLAN_CACHE` by default), keyed on backend, plan hash and
 environment schema.
 """
 
+from .buffers import HAVE_NUMBA, BufferDict, BufferLevels, to_buffer_levels
 from .codegen import CompiledPlan, compile_plan
 from .engine import (
     BACKENDS,
@@ -26,12 +29,15 @@ from .engine import (
     result_to_tensor3,
     result_to_vector,
 )
+from .typed_backend import TypedPlan, typed_plan
 from .vectorize import Unvectorizable, VectorizedPlan, vectorize_plan
 
 __all__ = [
     "BACKENDS",
     "CompiledPlan", "compile_plan",
     "VectorizedPlan", "vectorize_plan", "Unvectorizable",
+    "TypedPlan", "typed_plan",
+    "BufferDict", "BufferLevels", "to_buffer_levels", "HAVE_NUMBA",
     "ExecutionEngine", "PreparedPlan",
     "PlanCache", "GLOBAL_PLAN_CACHE", "env_signature",
     "result_to_dense", "result_to_matrix", "result_to_scalar",

@@ -1,0 +1,521 @@
+"""Flat typed columnar buffers for the ``typed`` execution backend.
+
+The ``typed`` backend (:mod:`repro.execution.typed_backend`) evaluates whole
+plans over contiguous NumPy arrays.  This module provides the data layer it
+runs on:
+
+* :class:`BufferLevels` — a CSF-style *levelized* view of an integer-keyed
+  nested dictionary: one sorted key array per nesting level, segment-pointer
+  arrays linking a parent entry to its children, and one float64 leaf value
+  array.  Within every parent segment the keys are sorted, and entries are
+  globally ordered by (parent id, key), so per-segment binary search
+  vectorizes over thousands of segments at once via a composite-key
+  ``searchsorted``.
+* :class:`BufferDict` — a lazy dictionary view over a :class:`BufferLevels`
+  node.  It satisfies the generic ``items()`` / ``get()`` protocol of
+  :mod:`repro.sdqlite.values`, so typed results flow through ``v_add``,
+  ``to_plain`` and the fuzz oracle unchanged, while the ``result_to_*``
+  helpers recognise it and scatter straight into a dense array.
+* :func:`to_buffer_levels` — conversion of any runtime collection (nested
+  dicts, tries, semiring dicts, 1-D arrays, ranges) into a
+  :class:`LevelView`, with ``None`` for shapes the typed representation
+  cannot hold (tuple or float keys, ragged depth).
+* The kernel twins :func:`expand_ranges` / :func:`parent_sum` /
+  :func:`lookup_sorted`: when ``numba`` is importable they are JIT-compiled
+  ``@njit`` loops, otherwise semantically identical NumPy-vectorized
+  implementations.  Both modes produce bit-identical results; the backend is
+  always available and never requires numba.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+import numpy as np
+
+from ..sdqlite.values import integral_index, is_dictlike, is_scalar, iter_items
+
+__all__ = [
+    "HAVE_NUMBA",
+    "BufferLevels",
+    "BufferDict",
+    "LevelView",
+    "to_buffer_levels",
+    "expand_ranges",
+    "parent_sum",
+    "lookup_sorted",
+    "group_sum_sorted",
+]
+
+
+# ---------------------------------------------------------------------------
+# Kernel twins: numba @njit when available, NumPy-vectorized otherwise
+# ---------------------------------------------------------------------------
+
+try:  # pragma: no cover - exercised on the optional numba CI leg
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    HAVE_NUMBA = False
+
+
+def _np_expand_ranges(lo: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(lo[i], lo[i] + counts[i])`` for every lane ``i``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    return (np.arange(total, dtype=np.int64)
+            - np.repeat(starts, counts) + np.repeat(lo, counts))
+
+
+def _np_parent_sum(parent: np.ndarray, weights: np.ndarray, size: int) -> np.ndarray:
+    """Sum ``weights`` per parent lane: ``out[p] = Σ weights[parent == p]``."""
+    if parent.size == 0:
+        return np.zeros(size, dtype=np.float64)
+    return np.bincount(parent, weights=weights, minlength=size)[:size]
+
+
+def _np_lookup_sorted(haystack: np.ndarray, queries: np.ndarray):
+    """Binary-search every query in an ascending array: ``(positions, found)``."""
+    if haystack.size == 0:
+        return (np.zeros(queries.shape[0], dtype=np.int64),
+                np.zeros(queries.shape[0], dtype=bool))
+    pos = np.searchsorted(haystack, queries)
+    clipped = np.minimum(pos, haystack.size - 1)
+    return clipped, haystack[clipped] == queries
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised on the optional numba CI leg
+
+    @_njit(cache=False)
+    def _nb_expand_ranges(lo, counts, out):
+        k = 0
+        for i in range(lo.shape[0]):
+            for j in range(counts[i]):
+                out[k] = lo[i] + j
+                k += 1
+
+    def expand_ranges(lo: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        out = np.empty(int(counts.sum()), dtype=np.int64)
+        _nb_expand_ranges(np.ascontiguousarray(lo, dtype=np.int64),
+                          np.ascontiguousarray(counts, dtype=np.int64), out)
+        return out
+
+    @_njit(cache=False)
+    def _nb_parent_sum(parent, weights, out):
+        for i in range(parent.shape[0]):
+            out[parent[i]] += weights[i]
+
+    def parent_sum(parent: np.ndarray, weights: np.ndarray, size: int) -> np.ndarray:
+        out = np.zeros(size, dtype=np.float64)
+        _nb_parent_sum(np.ascontiguousarray(parent, dtype=np.int64),
+                       np.ascontiguousarray(weights, dtype=np.float64), out)
+        return out
+
+    @_njit(cache=False)
+    def _nb_lookup_sorted(haystack, queries, pos, found):
+        n = haystack.shape[0]
+        for i in range(queries.shape[0]):
+            q = queries[i]
+            lo, hi = 0, n
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if haystack[mid] < q:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            p = lo if lo < n else n - 1
+            pos[i] = p
+            found[i] = haystack[p] == q
+
+    def lookup_sorted(haystack: np.ndarray, queries: np.ndarray):
+        if haystack.size == 0:
+            return (np.zeros(queries.shape[0], dtype=np.int64),
+                    np.zeros(queries.shape[0], dtype=bool))
+        pos = np.empty(queries.shape[0], dtype=np.int64)
+        found = np.empty(queries.shape[0], dtype=bool)
+        _nb_lookup_sorted(np.ascontiguousarray(haystack, dtype=np.int64),
+                          np.ascontiguousarray(queries, dtype=np.int64), pos, found)
+        return pos, found
+
+else:
+    expand_ranges = _np_expand_ranges
+    parent_sum = _np_parent_sum
+    lookup_sorted = _np_lookup_sorted
+
+
+def group_sum_sorted(cols: list[np.ndarray], vals: np.ndarray):
+    """Group-by-sum over key columns: unique coordinates and their value sums.
+
+    ``cols`` are equal-length int64 key columns, outermost key first; the
+    result is ``(coords, sums)`` with ``coords`` an ``m × depth`` matrix of
+    unique coordinates in lexicographic order and zero sums dropped (the
+    semiring identifies a zero entry with an absent one).
+    """
+    n = vals.shape[0]
+    if n == 0:
+        return np.empty((0, len(cols)), dtype=np.int64), np.empty(0, dtype=np.float64)
+    order = np.lexsort(tuple(reversed(cols)))
+    sorted_cols = [np.ascontiguousarray(c[order]) for c in cols]
+    sorted_vals = vals[order]
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for column in sorted_cols:
+        boundary[1:] |= column[1:] != column[:-1]
+    starts = np.flatnonzero(boundary)
+    sums = np.add.reduceat(sorted_vals, starts)
+    coords = np.stack([column[starts] for column in sorted_cols], axis=1)
+    nonzero = sums != 0
+    if not np.all(nonzero):
+        coords, sums = coords[nonzero], sums[nonzero]
+    return coords, sums
+
+
+# ---------------------------------------------------------------------------
+# BufferLevels: the levelized nested-dictionary representation
+# ---------------------------------------------------------------------------
+
+
+class BufferLevels:
+    """Levelized columnar storage of an integer-keyed nested dictionary.
+
+    ``keys[d]`` holds the keys of every level-``d`` entry, concatenated in
+    parent order and sorted within each parent segment.  ``seg[d]`` maps a
+    level-``d-1`` entry ``e`` to its children ``keys[d][seg[d][e]:seg[d][e+1]]``
+    (``seg[0]`` is the single root segment).  ``values`` is aligned with the
+    deepest level's entries.  The global entry order is therefore
+    (parent id, key)-ascending at every level, which is what makes batched
+    per-segment lookups a single composite-key :func:`lookup_sorted`.
+    """
+
+    __slots__ = ("depth", "keys", "seg", "values", "_parents", "_comps")
+
+    def __init__(self, keys: list[np.ndarray], seg: list[np.ndarray],
+                 values: np.ndarray):
+        self.depth = len(keys)
+        self.keys = [np.ascontiguousarray(k, dtype=np.int64) for k in keys]
+        self.seg = [np.ascontiguousarray(s, dtype=np.int64) for s in seg]
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self._parents: dict[int, np.ndarray] = {}
+        self._comps: dict[int, tuple] = {}
+
+    @classmethod
+    def from_sorted_coords(cls, coords: np.ndarray, values: np.ndarray) -> "BufferLevels":
+        """Build levels from **unique, lexicographically sorted** coordinates."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim != 2:
+            raise ValueError("coords must be an (n, depth) matrix")
+        n, depth = coords.shape
+        keys_levels: list[np.ndarray] = []
+        segs: list[np.ndarray] = []
+        prev_ids = np.zeros(n, dtype=np.int64)
+        prev_count = 1
+        for d in range(depth):
+            if n:
+                new = np.empty(n, dtype=bool)
+                new[0] = True
+                new[1:] = (prev_ids[1:] != prev_ids[:-1]) | (coords[1:, d] != coords[:-1, d])
+                starts = np.flatnonzero(new)
+                ids = np.cumsum(new) - 1
+            else:
+                starts = np.empty(0, dtype=np.int64)
+                ids = prev_ids
+            keys_d = coords[starts, d] if n else np.empty(0, dtype=np.int64)
+            seg = np.zeros(prev_count + 1, dtype=np.int64)
+            if starts.size:
+                np.add.at(seg, prev_ids[starts] + 1, 1)
+            seg = np.cumsum(seg)
+            keys_levels.append(keys_d)
+            segs.append(seg)
+            prev_ids, prev_count = ids, keys_d.shape[0]
+        return cls(keys_levels, segs, np.asarray(values, dtype=np.float64))
+
+    def parents(self, level: int) -> np.ndarray:
+        """Parent entry id (at ``level - 1``) of every level-``level`` entry."""
+        cached = self._parents.get(level)
+        if cached is None:
+            seg = self.seg[level]
+            cached = np.repeat(np.arange(seg.shape[0] - 1, dtype=np.int64), np.diff(seg))
+            self._parents[level] = cached
+        return cached
+
+    def composite(self, level: int):
+        """``(comp, kmin, kmax, big)`` for composite-key lookups, or ``None``.
+
+        ``comp = parents(level) * big + (keys[level] - kmin)`` is globally
+        ascending; ``None`` when the composite would overflow int64 (the
+        backend then falls back to its Python loop).
+        """
+        cached = self._comps.get(level)
+        if cached is None:
+            keys = self.keys[level]
+            if keys.size == 0:
+                cached = (np.empty(0, dtype=np.int64), 0, -1, 1)
+            else:
+                kmin = int(keys.min())
+                kmax = int(keys.max())
+                big = kmax - kmin + 1
+                parents = self.parents(level)
+                span = int(parents[-1]) + 1 if parents.size else 1
+                if big > 0 and span * big < (1 << 62):
+                    cached = (parents * big + (keys - kmin), kmin, kmax, big)
+                else:
+                    cached = None
+            self._comps[level] = cached
+        return cached
+
+    def lookup_level(self, level: int, owner: np.ndarray, keys: np.ndarray,
+                     valid: np.ndarray | None = None):
+        """Vectorized per-segment lookup: for every lane, find ``keys[i]``
+        among the children of parent entry ``owner[i]`` at ``level``.
+
+        ``owner < 0`` lanes (empty views) always miss.  Returns
+        ``(positions, found)`` or ``None`` when the composite key overflows.
+        """
+        comp_info = self.composite(level)
+        if comp_info is None:
+            return None
+        comp, kmin, kmax, big = comp_info
+        in_range = (owner >= 0) & (keys >= kmin) & (keys <= kmax)
+        if valid is not None:
+            in_range = in_range & valid
+        shifted = np.where(in_range, keys - kmin, 0)
+        queries = np.where(in_range, owner, 0) * big + shifted
+        pos, found = lookup_sorted(comp, queries)
+        return pos, found & in_range
+
+    def leaf_coords(self) -> np.ndarray:
+        """The full coordinate of every leaf entry, as an ``(nnz, depth)`` matrix."""
+        depth = self.depth
+        cols: list[np.ndarray] = [None] * depth  # type: ignore[list-item]
+        cols[depth - 1] = self.keys[depth - 1]
+        ancestor = self.parents(depth - 1)
+        for d in range(depth - 2, -1, -1):
+            cols[d] = self.keys[d][ancestor]
+            ancestor = self.parents(d)[ancestor]
+        return np.stack(cols, axis=1) if self.values.size else \
+            np.empty((0, depth), dtype=np.int64)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+
+class LevelView(NamedTuple):
+    """A contiguous span of entries at one level of a :class:`BufferLevels`."""
+
+    levels: BufferLevels
+    level: int
+    lo: int
+    hi: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == self.levels.depth - 1
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+
+# ---------------------------------------------------------------------------
+# BufferDict: the lazy dictionary view handed back as a typed result
+# ---------------------------------------------------------------------------
+
+
+class BufferDict:
+    """A dictionary view over one node of a :class:`BufferLevels`.
+
+    Behaves like a read-only semiring dictionary: ``items()`` yields
+    ``(int key, float | BufferDict)`` pairs and ``get`` is a binary search,
+    so the generic value helpers (``iter_items`` / ``lookup`` / ``to_plain``
+    / ``v_add``) consume it without conversion.  The ``result_to_*`` helpers
+    in :mod:`repro.execution.engine` special-case root views and scatter the
+    leaf buffer straight into a dense array instead of iterating.
+    """
+
+    __slots__ = ("levels", "level", "lo", "hi")
+
+    def __init__(self, levels: BufferLevels, level: int = 0,
+                 lo: int = 0, hi: int | None = None):
+        self.levels = levels
+        self.level = level
+        self.lo = int(lo)
+        self.hi = int(levels.keys[level].shape[0] if hi is None else hi)
+
+    @property
+    def is_root(self) -> bool:
+        return (self.level == 0 and self.lo == 0
+                and self.hi == self.levels.keys[0].shape[0])
+
+    def _entry_value(self, entry: int):
+        levels = self.levels
+        if self.level == levels.depth - 1:
+            return float(levels.values[entry])
+        seg = levels.seg[self.level + 1]
+        return BufferDict(levels, self.level + 1, int(seg[entry]), int(seg[entry + 1]))
+
+    def items(self):
+        keys = self.levels.keys[self.level]
+        for entry in range(self.lo, self.hi):
+            yield int(keys[entry]), self._entry_value(entry)
+
+    def keys(self):
+        return [int(k) for k in self.levels.keys[self.level][self.lo:self.hi]]
+
+    def get(self, key, default=0):
+        index = integral_index(key)
+        if index is None or self.hi <= self.lo:
+            return default
+        keys = self.levels.keys[self.level]
+        pos = self.lo + int(np.searchsorted(keys[self.lo:self.hi], index))
+        if pos < self.hi and int(keys[pos]) == index:
+            return self._entry_value(pos)
+        return default
+
+    def __getitem__(self, key):
+        return self.get(key, 0)
+
+    def __contains__(self, key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return max(0, self.hi - self.lo)
+
+    def __bool__(self) -> bool:
+        return self.hi > self.lo
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __eq__(self, other):
+        from ..sdqlite.values import to_plain
+
+        if is_scalar(other) and other == 0:
+            return len(self) == 0
+        if not is_dictlike(other):
+            return NotImplemented
+        return to_plain(self) == to_plain(other)
+
+    def __hash__(self):  # pragma: no cover - dictionaries are not hashable
+        raise TypeError("BufferDict is not hashable")
+
+    def __repr__(self) -> str:
+        entries = self.hi - self.lo
+        return (f"BufferDict(level={self.level}, entries={entries}, "
+                f"depth={self.levels.depth - self.level})")
+
+    def to_dict(self) -> dict:
+        from ..sdqlite.values import to_plain
+
+        return to_plain(self)
+
+    def scatter_into(self, out: np.ndarray) -> None:
+        """Write every leaf into a dense array in one vectorized scatter.
+
+        Only valid for root views whose depth equals ``out.ndim``; keys index
+        ``out`` exactly like the per-entry ``out[key] = value`` loop of the
+        generic ``result_to_*`` helpers (negative keys wrap, oversized keys
+        raise).
+        """
+        if not self.is_root or self.levels.depth != out.ndim:
+            raise ValueError("scatter_into requires a root view of matching rank")
+        coords = self.levels.leaf_coords()
+        if coords.shape[0] == 0:
+            return
+        out[tuple(coords[:, d] for d in range(coords.shape[1]))] = self.levels.values
+
+
+# ---------------------------------------------------------------------------
+# Conversion of runtime collections to buffer levels
+# ---------------------------------------------------------------------------
+
+
+def levels_from_mapping(value: Any) -> BufferLevels | None:
+    """Levelize a nested dictionary-like value; ``None`` when not representable.
+
+    Representable values have integral keys on every level, uniform nesting
+    depth, and scalar leaves.  Leaf zeros are **kept** (iterating a stored
+    zero entry must still bind its key), so conversion is exact for
+    iteration; tuple keys, float keys, ragged depth and non-scalar leaves
+    all return ``None`` and the backend falls back to a Python loop.
+    """
+    keys_per_level: list[list[int]] = []
+    counts_per_level: list[list[int]] = []
+    leaf_values: list[float] = []
+    leaf_depth: list[int | None] = [None]
+
+    def walk(node, depth: int) -> bool:
+        try:
+            pairs = []
+            for key, item in iter_items(node):
+                index = integral_index(key)
+                if index is None:
+                    return False
+                pairs.append((index, item))
+        except Exception:
+            return False
+        pairs.sort(key=lambda pair: pair[0])
+        while len(keys_per_level) <= depth:
+            keys_per_level.append([])
+            counts_per_level.append([])
+        for index, item in pairs:
+            keys_per_level[depth].append(index)
+            if is_scalar(item):
+                if leaf_depth[0] is None:
+                    leaf_depth[0] = depth
+                if leaf_depth[0] != depth:
+                    return False
+                counts_per_level[depth].append(0)
+                leaf_values.append(float(item))
+            else:
+                if leaf_depth[0] is not None and leaf_depth[0] == depth:
+                    return False
+                before = len(keys_per_level[depth + 1]) \
+                    if len(keys_per_level) > depth + 1 else 0
+                if not walk(item, depth + 1):
+                    return False
+                after = len(keys_per_level[depth + 1])
+                counts_per_level[depth].append(after - before)
+        return True
+
+    if not walk(value, 0):
+        return None
+    if leaf_depth[0] is None:
+        if not any(keys_per_level):
+            # Entirely empty: identify with the semiring zero (depth 1,
+            # no entries).
+            return BufferLevels([np.empty(0, dtype=np.int64)],
+                                [np.array([0, 0], dtype=np.int64)],
+                                np.empty(0, dtype=np.float64))
+        # Chains of dicts with no scalar leaf ({1: {}}): every keyed level
+        # is structural and the deepest level is empty everywhere.
+        depth = len(keys_per_level)
+    else:
+        depth = leaf_depth[0] + 1
+    if any(keys_per_level[d] for d in range(depth, len(keys_per_level))):
+        return None
+    if len(leaf_values) != len(keys_per_level[depth - 1]):
+        # Mixed scalar / empty-dict siblings at the leaf level would
+        # misalign values with keys; fall back to the Python path.
+        return None
+    keys = [np.asarray(keys_per_level[d], dtype=np.int64) for d in range(depth)]
+    segs = [np.array([0, len(keys_per_level[0])], dtype=np.int64)]
+    for d in range(depth - 1):
+        segs.append(np.concatenate([
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(np.asarray(counts_per_level[d], dtype=np.int64)),
+        ]))
+    return BufferLevels(keys, segs, np.asarray(leaf_values, dtype=np.float64))
+
+
+def to_buffer_levels(value: Any) -> LevelView | None:
+    """A :class:`LevelView` over any dictionary-like collection, else ``None``."""
+    if isinstance(value, BufferDict):
+        return LevelView(value.levels, value.level, value.lo, value.hi)
+    levels = levels_from_mapping(value)
+    if levels is None:
+        return None
+    return LevelView(levels, 0, 0, levels.keys[0].shape[0])

@@ -1,6 +1,6 @@
 """Execution of physical plans over the registered storage.
 
-Three backends are provided (see ``docs/backends.md`` for a full guide):
+Four backends are provided (see ``docs/backends.md`` for a full guide):
 
 * ``interpret`` — the reference interpreter (:mod:`repro.sdqlite.interpreter`);
   the executable semantics of SDQLite and the oracle everything else is
@@ -13,6 +13,12 @@ Three backends are provided (see ``docs/backends.md`` for a full guide):
   arrays and segmented-array slices are evaluated as batched array
   expressions with scatter/gather, falling back to Python loops per ``sum``
   for constructs that don't vectorize (merge, tries, nested hash-maps).
+* ``typed``     — typed-buffer compiled execution
+  (:mod:`repro.execution.typed_backend`): whole plans run over flat columnar
+  buffers (:mod:`repro.execution.buffers`), with nested sums expanding the
+  lane space, merges joining by sorted values and nested-dict lookups
+  becoming composite-key ``searchsorted``; kernels JIT via numba when it is
+  importable and run as equivalent NumPy code when it is not.
 
 All backends produce identical values (tested per kernel × format); results
 are plain scalars / nested dicts convertible to NumPy arrays via the
@@ -41,11 +47,13 @@ from ..sdqlite.debruijn import to_debruijn_safe
 from ..sdqlite.errors import ExecutionError
 from ..sdqlite.interpreter import evaluate
 from ..sdqlite.values import is_scalar, to_plain
+from .buffers import BufferDict
 from .codegen import CompiledPlan, compile_plan
+from .typed_backend import TypedPlan, typed_plan
 from .vectorize import VectorizedPlan, vectorize_plan
 
 #: Accepted values of the ``backend`` parameter, everywhere one is taken.
-BACKENDS = ("interpret", "compile", "vectorize")
+BACKENDS = ("interpret", "compile", "vectorize", "typed")
 
 
 def env_signature(env: Mapping[str, Any]) -> tuple:
@@ -85,6 +93,7 @@ class PlanCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -115,6 +124,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def discard(self, key: Hashable) -> None:
         """Evict one entry if present (used to drop plans gone stale).
@@ -131,6 +141,7 @@ class PlanCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 #: Process-wide default cache used when an engine is not given its own.
@@ -189,11 +200,15 @@ class ExecutionEngine:
         if artifact is None:
             if self.backend == "compile":
                 artifact = compile_plan(plan)
+            elif self.backend == "typed":
+                artifact = typed_plan(plan)
             else:
                 artifact = vectorize_plan(plan)
             cache.put(key, artifact)
         if self.backend == "compile":
             return PreparedPlan(plan, self.env, compiled=artifact, cache_key=key)
+        if self.backend == "typed":
+            return PreparedPlan(plan, self.env, typed=artifact, cache_key=key)
         return PreparedPlan(plan, self.env, vectorized=artifact, cache_key=key)
 
     def run(self, plan: Expr) -> Any:
@@ -217,6 +232,7 @@ class PreparedPlan:
     env: Mapping[str, Any]
     compiled: CompiledPlan | None = None
     vectorized: VectorizedPlan | None = None
+    typed: TypedPlan | None = None
     cache_key: Hashable | None = None
 
     @property
@@ -226,21 +242,31 @@ class PreparedPlan:
             return "compile"
         if self.vectorized is not None:
             return "vectorize"
+        if self.typed is not None:
+            return "typed"
         return "interpret"
 
-    def run(self, env: Mapping[str, Any] | None = None) -> Any:
+    def run(self, env: Mapping[str, Any] | None = None,
+            stats: dict | None = None) -> Any:
         """Execute the plan against ``env`` (default: the bound environment).
 
         Lowered artifacts are environment-independent, so running the same
         prepared plan under a different binding of the same symbols — e.g. a
         prepared statement re-binding a scalar parameter — is sound.
+
+        ``stats``, when given, receives per-run execution counters from the
+        backends that collect them (``vectorize`` and ``typed`` report
+        ``sum_loops`` and ``fallback_sums`` — how many loops took the scalar
+        Python fallback instead of a batched kernel).
         """
         if env is None:
             env = self.env
         if self.compiled is not None:
             return self.compiled(env)
         if self.vectorized is not None:
-            return self.vectorized(env)
+            return self.vectorized(env, stats)
+        if self.typed is not None:
+            return self.typed(env, stats)
         return evaluate(self.plan, env)
 
     @property
@@ -250,6 +276,8 @@ class PreparedPlan:
             return self.compiled.source
         if self.vectorized is not None:
             return self.vectorized.source
+        if self.typed is not None:
+            return self.typed.source
         return "<interpreted>"
 
 
@@ -268,10 +296,26 @@ def result_to_scalar(result: Any) -> float:
     raise ExecutionError("expected a scalar result but got a dictionary")
 
 
+def _scatter_buffer_result(result: Any, out: np.ndarray) -> bool:
+    """Vectorized fill of ``out`` from a typed-backend :class:`BufferDict`.
+
+    Root views of matching rank scatter their leaf buffer in one fancy-index
+    assignment (same per-entry semantics as the scalar loops below); other
+    shapes return ``False`` and take the generic path.
+    """
+    if isinstance(result, BufferDict) and result.is_root \
+            and result.levels.depth == out.ndim:
+        result.scatter_into(out)
+        return True
+    return False
+
+
 def result_to_vector(result: Any, size: int) -> np.ndarray:
     """Interpret an execution result as a dense vector of the given size."""
     out = np.zeros(size, dtype=np.float64)
     if is_scalar(result):
+        return out
+    if _scatter_buffer_result(result, out):
         return out
     for key, value in (result.items() if hasattr(result, "items") else []):
         out[int(key)] = float(value)
@@ -282,6 +326,8 @@ def result_to_matrix(result: Any, shape: tuple[int, int]) -> np.ndarray:
     """Interpret an execution result as a dense matrix."""
     out = np.zeros(shape, dtype=np.float64)
     if is_scalar(result):
+        return out
+    if _scatter_buffer_result(result, out):
         return out
     for i, row in result.items():
         if is_scalar(row):
@@ -295,6 +341,8 @@ def result_to_tensor3(result: Any, shape: tuple[int, int, int]) -> np.ndarray:
     """Interpret an execution result as a dense rank-3 tensor."""
     out = np.zeros(shape, dtype=np.float64)
     if is_scalar(result):
+        return out
+    if _scatter_buffer_result(result, out):
         return out
     for i, fiber in result.items():
         for j, row in fiber.items():

@@ -142,7 +142,7 @@ class BatchDict:
 class _Runtime:
     """Per-execution state threaded through the closures."""
 
-    __slots__ = ("env", "batched", "lanes", "invariants", "failed_batch")
+    __slots__ = ("env", "batched", "lanes", "invariants", "failed_batch", "fallbacks")
 
     def __init__(self, env: Mapping[str, Any]):
         self.env = env
@@ -150,6 +150,7 @@ class _Runtime:
         self.lanes = 0                # lane count of the current batched body
         self.invariants: dict = {}    # slot -> value of closed (loop-invariant) subplans
         self.failed_batch: set = set()  # sum slots whose batched body failed this run
+        self.fallbacks: set = set()   # loops that ran scalar Python this run
 
 
 _Closure = Callable[[list, _Runtime], Any]
@@ -369,6 +370,7 @@ class _Lowerer:
 
     def __init__(self) -> None:
         self.sum_count = 0
+        self.merge_count = 0
         self.invariant_slots = 0
 
     def lower(self, expr: Expr) -> _Closure:
@@ -701,6 +703,7 @@ class _Lowerer:
                         rt.batched, rt.lanes = False, outer_lanes
                     if body is not _FAILED:
                         return _reduce_batched(body, lanes)
+            rt.fallbacks.add(slot)
             accumulator: Any = 0
             for key, value in iter_items(source):
                 frames.append(key)
@@ -715,11 +718,14 @@ class _Lowerer:
         return sum_f
 
     def _lower_merge(self, expr) -> _Closure:
+        self.merge_count += 1
+        slot = ("merge", self.merge_count)
         left_f, right_f = self.lower(expr.left), self.lower(expr.right)
         body_f = self.lower(expr.body)
         def merge_f(frames, rt):
             if rt.batched:
                 raise Unvectorizable("merge inside a batched body")
+            rt.fallbacks.add(slot)
             left = left_f(frames, rt)
             right = right_f(frames, rt)
             by_value: dict[Any, list] = {}
@@ -768,11 +774,11 @@ class VectorizedPlan:
     """
 
     plan: Expr
-    function: Callable[[Mapping[str, Any]], Any]
+    function: Callable[..., Any]
     sum_count: int = 0
 
-    def __call__(self, env: Mapping[str, Any]) -> Any:
-        return self.function(env)
+    def __call__(self, env: Mapping[str, Any], stats: dict | None = None) -> Any:
+        return self.function(env, stats)
 
     @property
     def source(self) -> str:
@@ -791,7 +797,16 @@ def vectorize_plan(plan: Expr, name: str = "vectorized_plan") -> VectorizedPlan:
     lowerer = _Lowerer()
     root = lowerer.lower(plan)
 
-    def function(env: Mapping[str, Any]) -> Any:
-        return root([], _Runtime(env))
+    def function(env: Mapping[str, Any], stats: dict | None = None) -> Any:
+        rt = _Runtime(env)
+        result = root([], rt)
+        if stats is not None:
+            stats["sum_loops"] = lowerer.sum_count
+            stats["merge_loops"] = lowerer.merge_count
+            stats["fallback_sums"] = sum(
+                1 for slot in rt.fallbacks if isinstance(slot, int))
+            stats["fallback_merges"] = sum(
+                1 for slot in rt.fallbacks if not isinstance(slot, int))
+        return result
 
     return VectorizedPlan(plan=plan, function=function, sum_count=lowerer.sum_count)

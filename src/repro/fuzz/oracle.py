@@ -9,7 +9,7 @@ machine-generated scenarios:
   (:mod:`repro.fuzz.genprog`), fabricated tensor data and a legal per-tensor
   format assignment (:mod:`repro.fuzz.gendata`), plus the scalar bindings;
 * :func:`check_case` executes the point under the cross-product of execution
-  backends (``interpret`` / ``compile`` / ``vectorize``) and optimizer
+  backends (``interpret`` / ``compile`` / ``vectorize`` / ``typed``) and optimizer
   engines — the plain composed plan (``unoptimized``), the greedy strategy
   picker (``greedy``), equality saturation on the fast engine (``egraph``)
   and on the legacy engine (``egraph-legacy``) — and compares every result
@@ -109,7 +109,7 @@ class FuzzCase:
 class OracleConfig:
     """Which (engine, backend) pairs to run and how to compare results."""
 
-    backends: tuple[str, ...] = ("interpret", "compile", "vectorize")
+    backends: tuple[str, ...] = ("interpret", "compile", "vectorize", "typed")
     methods: tuple[str, ...] = ("unoptimized", "greedy", "egraph")
     optimizer_options: Mapping[str, Any] = field(
         default_factory=lambda: dict(FUZZ_OPTIMIZER_OPTIONS))

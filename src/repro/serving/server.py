@@ -192,6 +192,7 @@ class Server:
         self.optimizer_options = dict(optimizer_options or {})
         self.plans = SharedPlanCache(maxsize=self.config.plan_cache_size)
         self.stats = ServerStats(latency_window=self.config.latency_window)
+        self.stats.attach_plan_cache(self.plans)
         self.lowered = PlanCache(maxsize=self.config.lowered_cache_size)
         self._gate = AdmissionGate(self.config.max_concurrency,
                                    self.config.max_queue,

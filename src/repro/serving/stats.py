@@ -88,6 +88,11 @@ class ServerStats:
     ``full_refreshes``  of those, served by full re-execution (fallback)
     ==================  =====================================================
 
+    When a plan cache is attached (:meth:`attach_plan_cache` — the server
+    does this at construction), :meth:`snapshot` additionally reports its
+    live occupancy as ``plan_cache_entries`` and its cumulative
+    ``plan_cache_evictions``.
+
     Maintenance latency (one observation per :meth:`Server.update`, covering
     every view it refreshed) is recorded in its own window, surfaced as
     ``maintenance_*`` fields of :meth:`snapshot`.
@@ -96,6 +101,7 @@ class ServerStats:
     def __init__(self, *, latency_window: int = 8192):
         self.latency = LatencyRecorder(window=latency_window)
         self.maintenance = LatencyRecorder(window=latency_window)
+        self._plan_cache = None
         self.requests = 0
         self.plan_hits = 0
         self.plan_misses = 0
@@ -120,6 +126,15 @@ class ServerStats:
             self.delta_executions += delta_count
             self.full_refreshes += full_count
         self.maintenance.record(seconds * 1_000.0)
+
+    def attach_plan_cache(self, cache) -> None:
+        """Surface live plan-cache occupancy/eviction counters in snapshots.
+
+        ``cache`` is anything with ``__len__`` and an ``evictions`` counter
+        (the server's :class:`~repro.serving.cache.SharedPlanCache`); the
+        reference is read at :meth:`snapshot` time, never mutated.
+        """
+        self._plan_cache = cache
 
     def count(self, field: str, delta: int = 1) -> None:
         """Atomically add ``delta`` to one of the counters above."""
@@ -174,4 +189,8 @@ class ServerStats:
                 "maintenance_mean_ms": round(self.maintenance.mean_ms, 4),
                 "maintenance_p50_ms": round(m50, 4),
                 "maintenance_p99_ms": round(m99, 4),
+                "plan_cache_entries": len(self._plan_cache)
+                                      if self._plan_cache is not None else 0,
+                "plan_cache_evictions": self._plan_cache.evictions
+                                        if self._plan_cache is not None else 0,
             }

@@ -86,9 +86,18 @@ class RunOutcome:
     result: Any
     optimization: OptimizationResult
     plan_source: str
+    #: Backend execution counters (``sum_loops``, ``fallback_sums``, ...) for
+    #: the vectorize/typed backends; ``None`` for backends without counters.
+    execution_stats: dict[str, Any] | None = None
+
+    def explain(self) -> str:
+        """The plan explanation, extended with this run's execution counters."""
+        return format_explanation(self.optimization,
+                                  execution_stats=self.execution_stats)
 
 
-def format_explanation(optimization: OptimizationResult) -> str:
+def format_explanation(optimization: OptimizationResult, *,
+                       execution_stats: "Mapping[str, Any] | None" = None) -> str:
     """Render an :class:`OptimizationResult` the way ``storel.explain`` prints it."""
     from .sdqlite.pretty import pretty
 
@@ -106,6 +115,10 @@ def format_explanation(optimization: OptimizationResult) -> str:
         lines.append(f"stage 1 (storage-independent): {optimization.stage1.as_row()}")
     if optimization.stage2 is not None:
         lines.append(f"stage 2 (storage-aware):       {optimization.stage2.as_row()}")
+    if execution_stats:
+        lines.append("execution counters:")
+        for name in sorted(execution_stats):
+            lines.append(f"  {name:<26}: {execution_stats[name]}")
     return "\n".join(lines)
 
 
@@ -434,9 +447,12 @@ class Session:
         statement = self.prepare(program, method=method, backend=backend,
                                  dense_shape=dense_shape,
                                  optimizer_options=optimizer_options)
-        return RunOutcome(result=statement.execute(),
+        stats: dict[str, Any] = {}
+        result = statement.execute_with_stats(stats)
+        return RunOutcome(result=result,
                           optimization=statement.optimization,
-                          plan_source=statement.plan_source)
+                          plan_source=statement.plan_source,
+                          execution_stats=stats or None)
 
     def run(self, program: "str | Expr", *, method: str | None = None,
             backend: str | None = None, dense_shape: tuple[int, ...] | None = None,
@@ -576,6 +592,22 @@ class Statement:
             env = dict(env)
             env.update(scalar_params)
         return self._finish(prepared.run(env))
+
+    def execute_with_stats(self, stats: dict, **scalar_params: float) -> Any:
+        """Like :meth:`execute`, but populate ``stats`` with backend counters.
+
+        The vectorize and typed backends record loop/fallback counts
+        (``sum_loops``, ``merge_loops``, ``fallback_sums``,
+        ``fallback_merges``) into the given dictionary; other backends
+        leave it untouched.
+        """
+        self._revalidate()
+        prepared, env = self._bound
+        if scalar_params:
+            self._check_params(scalar_params)
+            env = dict(env)
+            env.update(scalar_params)
+        return self._finish(prepared.run(env, stats))
 
     def execute_many(self, param_batches: Iterable[Mapping[str, float]]) -> list:
         """Execute once per parameter binding, amortizing environment setup.

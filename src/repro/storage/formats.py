@@ -244,6 +244,43 @@ class StorageFormat(ABC):
         """Average segment length of segmented arrays (``A_idx2`` etc.), if any."""
         return {}
 
+    # -- typed-buffer export --------------------------------------------------
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        """Flat typed columnar buffers describing the stored tensor.
+
+        The default view is the canonical sorted-coordinate triple:
+        ``idx1`` … ``idx<rank>`` int64 arrays (row-major sorted, duplicates
+        coalesced, explicit zeros dropped) plus a float64 ``val`` array.
+        Formats with a richer physical layout override this with their
+        native arrays (position/index pairs, trie level arrays).  Every
+        buffer is a contiguous NumPy array; together with ``shape`` the view
+        fully determines the tensor, and :meth:`from_buffers` inverts it up
+        to the normalization of :func:`sum_duplicates`.
+        """
+        from .convert import coo_arrays
+
+        coords, values = coo_arrays(self)
+        coords = coords.reshape(-1, self.rank or 1)
+        buffers = {f"idx{axis + 1}": np.ascontiguousarray(coords[:, axis])
+                   for axis in range(self.rank)}
+        buffers["val"] = np.ascontiguousarray(values)
+        return buffers
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: Mapping[str, np.ndarray],
+                     shape: Sequence[int]) -> "StorageFormat":
+        """Rebuild an instance of this format from a :meth:`to_buffers` view."""
+        values = np.asarray(buffers["val"], dtype=np.float64)
+        rank = len(tuple(shape))
+        if rank:
+            coords = np.column_stack([
+                np.asarray(buffers[f"idx{axis + 1}"], dtype=np.int64)
+                for axis in range(rank)])
+        else:
+            coords = np.empty((values.shape[0], 0), dtype=np.int64)
+        return cls.from_coo(name, coords, values, shape)
+
     # -- shared helpers -------------------------------------------------------
 
     @cached_property
@@ -345,6 +382,16 @@ class DenseFormat(StorageFormat):
 
     def to_dense(self) -> np.ndarray:
         return self.array.copy()
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        return {"val": np.ascontiguousarray(self.array.reshape(-1))}
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: Mapping[str, np.ndarray],
+                     shape: Sequence[int]) -> "DenseFormat":
+        shape = tuple(int(s) for s in shape)
+        values = np.asarray(buffers["val"], dtype=np.float64)
+        return cls(name, values.reshape(shape))
 
     def profile(self) -> Profile:
         profile: Profile = ("s",)
@@ -482,6 +529,22 @@ class CSRFormat(StorageFormat):
                 dense[tuple(coordinate)] += self.val[offset]
         return dense
 
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        return {"pos": self.pos, "idx": self.idx, "val": self.val}
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: Mapping[str, np.ndarray],
+                     shape: Sequence[int]) -> "CSRFormat":
+        pos = np.asarray(buffers["pos"], dtype=np.int64)
+        idx = np.asarray(buffers["idx"], dtype=np.int64)
+        val = np.asarray(buffers["val"], dtype=np.float64)
+        outer = np.repeat(np.arange(pos.shape[0] - 1, dtype=np.int64),
+                          np.diff(pos))
+        coords = np.empty((idx.shape[0], 2), dtype=np.int64)
+        coords[:, cls._outer_axis] = outer
+        coords[:, cls._inner_axis] = idx
+        return cls(name, coords, val, shape)
+
     def profile(self) -> Profile:
         n_outer = self.shape[self._outer_axis]
         avg = self.nnz / max(1, n_outer)
@@ -570,6 +633,22 @@ class DCSRFormat(StorageFormat):
             for offset in range(self.pos2[position], self.pos2[position + 1]):
                 dense[int(row), int(self.idx2[offset])] += self.val[offset]
         return dense
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        return {"pos1": self.pos1, "idx1": self.idx1,
+                "pos2": self.pos2, "idx2": self.idx2, "val": self.val}
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: Mapping[str, np.ndarray],
+                     shape: Sequence[int]) -> "DCSRFormat":
+        idx1 = np.asarray(buffers["idx1"], dtype=np.int64)
+        pos2 = np.asarray(buffers["pos2"], dtype=np.int64)
+        idx2 = np.asarray(buffers["idx2"], dtype=np.int64)
+        val = np.asarray(buffers["val"], dtype=np.float64)
+        rows = np.repeat(idx1, np.diff(pos2))
+        coords = np.column_stack([rows, idx2]) if idx2.size else \
+            np.empty((0, 2), dtype=np.int64)
+        return cls(name, coords, val, shape)
 
     def profile(self) -> Profile:
         non_empty = max(1, len(self.idx1))
@@ -672,6 +751,26 @@ class CSFFormat(StorageFormat):
                 for p3 in range(self.pos3[p2], self.pos3[p2 + 1]):
                     dense[int(i), k, int(self.idx3[p3])] += self.val[p3]
         return dense
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        return {"idx1": self.idx1, "pos2": self.pos2, "idx2": self.idx2,
+                "pos3": self.pos3, "idx3": self.idx3, "val": self.val}
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: Mapping[str, np.ndarray],
+                     shape: Sequence[int]) -> "CSFFormat":
+        idx1 = np.asarray(buffers["idx1"], dtype=np.int64)
+        pos2 = np.asarray(buffers["pos2"], dtype=np.int64)
+        idx2 = np.asarray(buffers["idx2"], dtype=np.int64)
+        pos3 = np.asarray(buffers["pos3"], dtype=np.int64)
+        idx3 = np.asarray(buffers["idx3"], dtype=np.int64)
+        val = np.asarray(buffers["val"], dtype=np.float64)
+        i_level2 = np.repeat(idx1, np.diff(pos2))
+        i_leaf = np.repeat(i_level2, np.diff(pos3))
+        k_leaf = np.repeat(idx2, np.diff(pos3))
+        coords = np.column_stack([i_leaf, k_leaf, idx3]) if idx3.size else \
+            np.empty((0, 3), dtype=np.int64)
+        return cls(name, coords, val, shape)
 
     def profile(self) -> Profile:
         n1 = max(1, len(self.idx1))
@@ -783,6 +882,35 @@ class TrieFormat(StorageFormat):
         dense = np.zeros(self.shape, dtype=np.float64)
         _fill_dense_from_nested(dense, self.trie.nested, ())
         return dense
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        from ..execution.buffers import BufferLevels
+        from .convert import coo_arrays
+
+        coords, values = coo_arrays(self)
+        levels = BufferLevels.from_sorted_coords(
+            coords.reshape(-1, max(1, self.rank)), values)
+        buffers: dict[str, np.ndarray] = {}
+        for depth in range(levels.depth):
+            buffers[f"keys{depth + 1}"] = levels.keys[depth]
+            buffers[f"seg{depth + 1}"] = levels.seg[depth]
+        buffers["val"] = levels.values
+        return buffers
+
+    @classmethod
+    def from_buffers(cls, name: str, buffers: Mapping[str, np.ndarray],
+                     shape: Sequence[int]) -> "TrieFormat":
+        from ..execution.buffers import BufferLevels
+
+        rank = max(1, len(tuple(shape)))
+        levels = BufferLevels(
+            [np.asarray(buffers[f"keys{d + 1}"], dtype=np.int64)
+             for d in range(rank)],
+            [np.asarray(buffers[f"seg{d + 1}"], dtype=np.int64)
+             for d in range(rank)],
+            np.asarray(buffers["val"], dtype=np.float64))
+        coords = levels.leaf_coords()
+        return cls(name, _entries_from_coo(coords, levels.values, rank), shape)
 
     def profile(self) -> Profile:
         levels = []

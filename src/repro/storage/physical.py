@@ -87,6 +87,10 @@ class PhysicalArray:
     def __getitem__(self, key):
         return self.get(key)
 
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        """Export the flat data array for the typed backend."""
+        return {"val": self.data}
+
     def __repr__(self) -> str:
         return f"PhysicalArray({self.name}, len={len(self)}, dtype={self.dtype})"
 
@@ -135,6 +139,17 @@ class PhysicalHashMap:
         """Direct O(1) lookup with a full coordinate tuple."""
         return self.entries.get(tuple(int(k) for k in key), default)
 
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        """Export lexicographically sorted coordinate/value arrays."""
+        rank = len(self.dims)
+        keys = sorted(self.entries)
+        coords = np.array(keys, dtype=np.int64).reshape(len(keys), rank)
+        values = np.array([self.entries[k] for k in keys], dtype=np.float64)
+        buffers = {f"idx{axis + 1}": np.ascontiguousarray(coords[:, axis])
+                   for axis in range(rank)}
+        buffers["val"] = values
+        return buffers
+
     def __repr__(self) -> str:
         return f"PhysicalHashMap({self.name}, dims={self.dims}, nnz={self.nnz})"
 
@@ -173,6 +188,20 @@ class PhysicalTrie:
     def get(self, key, default=0):
         index = integral_index(key)
         return default if index is None else self.nested.get(index, default)
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        """Export one sorted key/segment array pair per trie level."""
+        from ..execution.buffers import levels_from_mapping
+
+        levels = levels_from_mapping(self.nested)
+        if levels is None:
+            raise StorageError(f"trie {self.name!r} is not levelizable")
+        buffers: dict[str, np.ndarray] = {}
+        for depth in range(levels.depth):
+            buffers[f"keys{depth + 1}"] = levels.keys[depth]
+            buffers[f"seg{depth + 1}"] = levels.seg[depth]
+        buffers["val"] = levels.values
+        return buffers
 
     def __repr__(self) -> str:
         return f"PhysicalTrie({self.name}, dims={self.dims})"

@@ -6,10 +6,14 @@ measurement is repeated a configurable number of times and the average is
 reported.  Systems that cannot run a configuration (out of memory, missing
 sparse rank-3 support) are recorded as such rather than failing the run.
 
-STOREL itself can be measured on any of its three execution backends
-(``interpret`` / ``compile`` / ``vectorize``); :func:`backend_shootout`
-runs one kernel/catalog across several backends so their relative speed can
-be reported side by side (``benchmarks/bench_backends.py`` uses it).
+STOREL itself can be measured on any of its four execution backends
+(``interpret`` / ``compile`` / ``vectorize`` / ``typed``);
+:func:`backend_shootout` runs one kernel/catalog across several backends so
+their relative speed can be reported side by side
+(``benchmarks/bench_backends.py`` uses it).  Backends that prepare work on
+first call (the typed backend JIT-compiles its kernels when numba is
+available) are handled by a warmup execution that is timed separately as
+``compile_ms`` and excluded from the steady-state ``mean_ms``.
 """
 
 from __future__ import annotations
@@ -39,6 +43,13 @@ class Measurement:
     status: str = "ok"          # ok | unsupported | error
     detail: str = ""
     correct: bool | None = None
+    #: Wall-clock of the warmup execution (first call, where JIT backends
+    #: compile); ``None`` when no warmup ran.  Excluded from ``mean_ms``.
+    compile_ms: float | None = None
+    #: Backend loop-fallback counters from the warmup run (vectorize/typed
+    #: only): sums / merges that executed as Python loops instead of kernels.
+    fallback_sums: int | None = None
+    fallback_merges: int | None = None
 
     def as_row(self) -> dict:
         return {
@@ -46,8 +57,11 @@ class Measurement:
             "dataset": self.dataset,
             "system": self.system,
             "mean_ms": None if self.mean_ms is None else round(self.mean_ms, 3),
+            "compile_ms": None if self.compile_ms is None else round(self.compile_ms, 3),
             "status": self.status,
             "correct": self.correct,
+            "fallback_sums": self.fallback_sums,
+            "fallback_merges": self.fallback_merges,
             "detail": self.detail,
         }
 
@@ -64,8 +78,17 @@ def time_callable(run, repeats: int = 3) -> tuple[float, object]:
 
 
 def measure(system: System, kernel: Kernel, catalog: Catalog, *, dataset: str = "",
-            repeats: int = 3, check: bool = True) -> Measurement:
-    """Run one system on one kernel / catalog and record the outcome."""
+            repeats: int = 3, check: bool = True,
+            warmup: bool = True) -> Measurement:
+    """Run one system on one kernel / catalog and record the outcome.
+
+    With ``warmup`` (the default) the first execution is timed separately as
+    ``compile_ms`` and excluded from the steady-state ``mean_ms`` — for JIT
+    backends that call pays the compilation, for every backend it pays
+    one-time caches.  The warmup run also collects the backend's
+    loop-fallback counters when the system exposes a
+    :class:`~repro.session.Statement`.
+    """
     try:
         run = system.prepare(kernel, catalog)
     except NotSupportedError as exc:
@@ -75,6 +98,16 @@ def measure(system: System, kernel: Kernel, catalog: Catalog, *, dataset: str = 
         return Measurement(kernel.name, dataset, system.name, None,
                            status="error", detail=f"{type(exc).__name__}: {exc}")
     try:
+        compile_ms: float | None = None
+        stats: dict = {}
+        if warmup:
+            statement = getattr(run, "statement", None)
+            start = time.perf_counter()
+            if statement is not None:
+                statement.execute_with_stats(stats)
+            else:
+                run()
+            compile_ms = (time.perf_counter() - start) * 1_000.0
         mean_ms, result = time_callable(run, repeats)
     except Exception as exc:  # noqa: BLE001
         return Measurement(kernel.name, dataset, system.name, None,
@@ -86,7 +119,9 @@ def measure(system: System, kernel: Kernel, catalog: Catalog, *, dataset: str = 
                                    np.asarray(expected, dtype=np.float64),
                                    rtol=1e-6, atol=1e-6))
     return Measurement(kernel.name, dataset, system.name, mean_ms,
-                       runs=repeats, correct=correct)
+                       runs=repeats, correct=correct, compile_ms=compile_ms,
+                       fallback_sums=stats.get("fallback_sums"),
+                       fallback_merges=stats.get("fallback_merges"))
 
 
 def run_matrix(systems: Sequence[System], kernel: Kernel, catalogs: dict[str, Catalog],
@@ -107,7 +142,8 @@ def backend_shootout(kernel: Kernel, catalog: Catalog, *,
     """Measure STOREL on one kernel/catalog across several execution backends.
 
     ``backends`` is a sequence of backend names, each one of ``"interpret"``,
-    ``"compile"`` or ``"vectorize"`` (the full set by default); each backend
+    ``"compile"``, ``"vectorize"`` or ``"typed"`` (the full set by default);
+    each backend
     yields one :class:`Measurement` whose system name is
     ``STOREL[<backend>]``.  One :class:`~repro.session.Session` is shared
     across all backends, so statistics and plan optimization happen once per

@@ -15,6 +15,7 @@ from repro.execution import (
     result_to_matrix,
     result_to_scalar,
     result_to_vector,
+    typed_plan,
     vectorize_plan,
 )
 from repro.kernels import KERNELS
@@ -175,6 +176,18 @@ def test_vectorize_matches_interpreter(kernel_name, fmt):
     for plan in strategies.candidate_plans(naive).values():
         vectorized = vectorize_plan(plan)
         assert values_equal(vectorized(env), evaluate(plan, env))
+
+
+@pytest.mark.parametrize("kernel_name,fmt", _PARITY_CASES,
+                         ids=[f"{k}-{f}" for k, f in _PARITY_CASES])
+def test_typed_matches_interpreter(kernel_name, fmt):
+    """The typed backend equals the interpreter on every kernel × format."""
+    kernel = KERNELS[kernel_name]
+    catalog = _parity_catalog(kernel_name, fmt)
+    naive = compose(kernel.program, catalog.mappings())
+    env = catalog.globals()
+    for plan in strategies.candidate_plans(naive).values():
+        assert values_equal(typed_plan(plan)(env), evaluate(plan, env))
 
 
 @pytest.mark.parametrize("kernel_name,fmt", _PARITY_CASES,

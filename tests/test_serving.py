@@ -782,6 +782,8 @@ def test_server_stats_snapshot_is_json_ready():
     assert snapshot["hit_rate"] == pytest.approx(0.5)
     assert snapshot["latency_count"] == 2
     assert snapshot["latency_p99_ms"] >= snapshot["latency_p50_ms"] >= 0.0
+    assert snapshot["plan_cache_entries"] == 1
+    assert snapshot["plan_cache_evictions"] == 0
 
 
 def test_server_stats_peak_tracking():
