@@ -30,5 +30,7 @@ on the Table-3 format-sensitivity workloads.
 """
 
 from .advisor import Advisor, Candidate, Recommendation, WorkloadQuery, as_workload
+from .online import OnlineAdvisor
 
-__all__ = ["Advisor", "Candidate", "Recommendation", "WorkloadQuery", "as_workload"]
+__all__ = ["Advisor", "Candidate", "OnlineAdvisor", "Recommendation",
+           "WorkloadQuery", "as_workload"]

@@ -152,6 +152,16 @@ class CardinalityEstimator:
         return None
 
     def _card(self, expr: Expr, env: tuple[Card, ...]) -> Card:
+        # Runtime feedback overlay: an observed cardinality for this exact
+        # (closed) sub-expression replaces the estimate below.  Only closed
+        # expressions are ever recorded (see repro.execution.profile), so a
+        # hit is context-independent and ``env`` can be ignored.  The
+        # truthiness guard keeps the default no-observations path free.
+        observations = getattr(self.stats, "observations", None)
+        if observations:
+            observed = observations.get(expr)
+            if observed is not None:
+                return observed
         if isinstance(expr, (Const,)):
             return Card.scalar()
         if isinstance(expr, Sym):

@@ -135,7 +135,22 @@ class CostModel:
         return self.analyze(expr, env).cost
 
     def analyze(self, expr: Expr, env: Env = ()) -> CostInfo:
-        """Cost, cardinality, and collection kind of ``expr``."""
+        """Cost, cardinality, and collection kind of ``expr``.
+
+        When the statistics carry runtime observations (adaptive feedback),
+        an observed cardinality for this exact closed sub-expression replaces
+        the estimated one — the node's own cost formula is unchanged, but
+        every enclosing loop now multiplies by the *measured* size.
+        """
+        info = self._analyze(expr, env)
+        observations = getattr(self.stats, "observations", None)
+        if observations:
+            observed = observations.get(expr)
+            if observed is not None and observed is not info.card:
+                return CostInfo(info.cost, observed, info.kind)
+        return info
+
+    def _analyze(self, expr: Expr, env: Env = ()) -> CostInfo:
         if isinstance(expr, (Const,)):
             return CostInfo(_LEAF_COST, Card.scalar(), K_SCALAR)
         if isinstance(expr, Sym):

@@ -44,6 +44,13 @@ class Statistics:
         Average segment length per segmented array symbol (``A_idx2`` ...).
     selectivity:
         Default selectivity of predicates.
+    observations:
+        Runtime cardinality feedback: observed :class:`Card` per **closed**
+        De Bruijn sub-expression (no free indices — context-independent, see
+        :mod:`repro.execution.profile`).  The estimators consult this overlay
+        before their syntax-directed rules, so a plan whose loop sizes or
+        output cardinality were measured estimates with the measured numbers
+        on the next optimization.  Empty (and costing nothing) by default.
     """
 
     profiles: dict[str, Card] = field(default_factory=dict)
@@ -53,6 +60,7 @@ class Statistics:
     selectivity: float = DEFAULT_SELECTIVITY
     default_dimension: float = DEFAULT_DIMENSION
     default_segment: float = DEFAULT_SEGMENT
+    observations: dict = field(default_factory=dict)
 
     # -- constructors ---------------------------------------------------------
 
@@ -146,7 +154,31 @@ class Statistics:
         for current, candidate in swaps:
             copy.remove_format(current)
             copy.apply_format(candidate)
+        # Observations are deliberately NOT carried over: they were measured
+        # under the current storage formats, and a hypothetical re-format
+        # changes the very loop structures they describe.
         return copy
+
+    # -- runtime feedback -----------------------------------------------------
+
+    def observe(self, expr, card: Card) -> None:
+        """Record the observed cardinality of a closed (sub-)expression.
+
+        Setting the same observation twice is a no-op by construction — the
+        observed value simply replaces itself — which makes refinement
+        idempotent (property-tested in ``tests/test_adaptive_properties.py``).
+        """
+        self.observations[expr] = card
+
+    def observation(self, expr) -> Card | None:
+        """The observed cardinality of ``expr``, or ``None``."""
+        if not self.observations:
+            return None
+        return self.observations.get(expr)
+
+    def clear_observations(self) -> None:
+        """Drop all runtime feedback (the data changed underneath it)."""
+        self.observations.clear()
 
     # -- queries --------------------------------------------------------------
 
@@ -173,4 +205,5 @@ class Statistics:
             selectivity=selectivity,
             default_dimension=self.default_dimension,
             default_segment=self.default_segment,
+            observations=dict(self.observations),
         )

@@ -152,13 +152,33 @@ RUNTIME = {
 
 @dataclass
 class CompiledPlan:
-    """A plan compiled to Python source plus its callable."""
+    """A plan compiled to Python source plus its callable.
+
+    ``sum_sources`` records, in slot order, the source expression of every
+    ``sum`` loop the compiler emitted — the loop table consumed by the
+    adaptive feedback layer.  Profiled execution (``profile`` argument set)
+    runs a *separate* generated variant with per-loop iteration counters; it
+    is compiled lazily on first use and cached on the artifact, so the
+    unprofiled fast path stays byte-identical to a build without profiling.
+    """
 
     source: str
     function: Callable[[Mapping[str, Any]], Any]
+    plan: Expr | None = None
+    sum_sources: tuple[Expr, ...] = ()
+    _profiled: "CompiledPlan | None" = None
 
-    def __call__(self, env: Mapping[str, Any]) -> Any:
-        return self.function(env)
+    def __call__(self, env: Mapping[str, Any], profile=None) -> Any:
+        if profile is None:
+            return self.function(env)
+        variant = self._profiled
+        if variant is None:
+            if self.plan is None:
+                return self.function(env)
+            # Benign race: concurrent first profiled runs may both compile;
+            # the variants are identical and the attribute write is atomic.
+            variant = self._profiled = compile_plan(self.plan, profiled=True)
+        return variant.function(env, profile)
 
 
 class _Emitter:
@@ -187,11 +207,19 @@ class _Emitter:
 
 
 class _Compiler:
-    """Translates a De Bruijn plan into Python statements."""
+    """Translates a De Bruijn plan into Python statements.
 
-    def __init__(self) -> None:
+    With ``profiled`` set, every ``sum`` loop additionally maintains a local
+    iteration counter and reports it to the ``_profile`` argument of the
+    generated function after the loop; slot numbers follow emission order,
+    which is identical in both modes (the traversal is the same).
+    """
+
+    def __init__(self, profiled: bool = False) -> None:
         self.emitter = _Emitter()
         self.symbols: set[str] = set()
+        self.profiled = profiled
+        self.sum_sources: list[Expr] = []
 
     # -- expression compilation: returns a Python expression string ---------
 
@@ -278,15 +306,24 @@ class _Compiler:
             emit(f"{bound} = {value}")
             return self.compile_expr(expr.body, env + [bound])
         if isinstance(expr, Sum):
+            slot = len(self.sum_sources)
+            self.sum_sources.append(expr.source)
             accumulator = self.emitter.fresh("_acc")
             key = self.emitter.fresh("_k")
             value = self.emitter.fresh("_v")
+            counter = self.emitter.fresh("_n") if self.profiled else None
             emit(f"{accumulator} = 0")
+            if counter is not None:
+                emit(f"{counter} = 0")
             source = self._compile_iteration(expr.source, env, key, value)
             emit(source)
             with self.emitter.block():
+                if counter is not None:
+                    emit(f"{counter} += 1")
                 term = self.compile_expr(expr.body, env + [key, value])
                 emit(f"{accumulator} = _add_into({accumulator}, {term})")
+            if counter is not None:
+                emit(f"_profile.record_loop({slot}, {counter})")
             return accumulator
         if isinstance(expr, Merge):
             accumulator = self.emitter.fresh("_acc")
@@ -326,23 +363,31 @@ class _Compiler:
         return f"for {key}, {value} in _iter({expression}):"
 
 
-def compile_plan(plan: Expr, name: str = "generated_plan") -> CompiledPlan:
-    """Compile a physical plan (De Bruijn form) into a Python function."""
-    compiler = _Compiler()
+def compile_plan(plan: Expr, name: str = "generated_plan",
+                 profiled: bool = False) -> CompiledPlan:
+    """Compile a physical plan (De Bruijn form) into a Python function.
+
+    ``profiled`` generates the instrumented variant taking a second
+    ``_profile`` argument (see :class:`_Compiler`); plain callers never pay
+    for it — :class:`CompiledPlan` builds it lazily on first profiled run.
+    """
+    compiler = _Compiler(profiled=profiled)
     result = compiler.compile_statement(plan, []) if isinstance(
         plan, (Sum, Let, IfThen, Merge)) else None
     if result is None:
-        compiler = _Compiler()
+        compiler = _Compiler(profiled=profiled)
         result_expr = compiler.compile_expr(plan, [])
         body_lines = compiler.emitter.lines + ["    _result = " + result_expr]
     else:
         body_lines = compiler.emitter.lines + ["    _result = " + result]
+    header = f"def {name}(_env, _profile=None):" if profiled else f"def {name}(_env):"
     source = "\n".join(
-        [f"def {name}(_env):"] + (body_lines or ["    pass"]) + ["    return _result"]
+        [header] + (body_lines or ["    pass"]) + ["    return _result"]
     )
     namespace = dict(RUNTIME)
     try:
         exec(compile(source, f"<{name}>", "exec"), namespace)  # noqa: S102 - code generation
     except SyntaxError as exc:  # pragma: no cover - indicates a compiler bug
         raise ExecutionError(f"generated code failed to compile: {exc}\n{source}") from exc
-    return CompiledPlan(source=source, function=namespace[name])
+    return CompiledPlan(source=source, function=namespace[name], plan=plan,
+                        sum_sources=tuple(compiler.sum_sources))

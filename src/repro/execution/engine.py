@@ -247,7 +247,7 @@ class PreparedPlan:
         return "interpret"
 
     def run(self, env: Mapping[str, Any] | None = None,
-            stats: dict | None = None) -> Any:
+            stats: dict | None = None, profile=None) -> Any:
         """Execute the plan against ``env`` (default: the bound environment).
 
         Lowered artifacts are environment-independent, so running the same
@@ -258,16 +258,39 @@ class PreparedPlan:
         backends that collect them (``vectorize`` and ``typed`` report
         ``sum_loops`` and ``fallback_sums`` — how many loops took the scalar
         Python fallback instead of a batched kernel).
+
+        ``profile``, when given, is an
+        :class:`~repro.execution.profile.ExecutionProfile` filled with the
+        run's per-``sum``-loop iteration counts on every backend; resolve
+        its loop keys with :meth:`loop_sources`.  The default ``None`` adds
+        no per-iteration work.
         """
         if env is None:
             env = self.env
         if self.compiled is not None:
-            return self.compiled(env)
+            return self.compiled(env, profile)
         if self.vectorized is not None:
-            return self.vectorized(env, stats)
+            return self.vectorized(env, stats, profile)
         if self.typed is not None:
-            return self.typed(env, stats)
-        return evaluate(self.plan, env)
+            return self.typed(env, stats, profile)
+        return evaluate(self.plan, env, profile=profile)
+
+    def loop_sources(self) -> Mapping[Any, Expr]:
+        """``{loop slot: source expression}`` for this plan's ``sum`` loops.
+
+        Slots are whatever :meth:`run` records into an execution profile:
+        integers for the lowering backends, the plan's
+        :class:`~repro.sdqlite.ast.Sum` nodes for the interpreter.
+        """
+        if self.compiled is not None:
+            return dict(enumerate(self.compiled.sum_sources))
+        if self.vectorized is not None:
+            return self.vectorized.sum_sources or {}
+        if self.typed is not None:
+            return self.typed.sum_sources or {}
+        from .profile import sum_sources_of
+
+        return sum_sources_of(self.plan)
 
     @property
     def source(self) -> str:

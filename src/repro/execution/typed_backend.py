@@ -223,9 +223,9 @@ class _Runtime:
     """Per-execution state threaded through the closures."""
 
     __slots__ = ("env", "batched", "lanes", "invariants", "failed_batch",
-                 "fallbacks", "buffers")
+                 "fallbacks", "buffers", "profile")
 
-    def __init__(self, env: Mapping[str, Any]):
+    def __init__(self, env: Mapping[str, Any], profile=None):
         self.env = env
         self.batched = False
         self.lanes = 0
@@ -233,6 +233,7 @@ class _Runtime:
         self.failed_batch: set = set()   # sums whose typed attempt failed this run
         self.fallbacks: set = set()      # sums/merges that ran a Python loop
         self.buffers: dict = {}          # id(obj) -> (obj, LevelView | None)
+        self.profile = profile           # optional ExecutionProfile (loop counts)
 
 
 _Closure = Callable[[list, _Runtime], Any]
@@ -841,6 +842,7 @@ class _Lowerer:
         self.sum_count = 0
         self.merge_count = 0
         self.invariant_slots = 0
+        self.sum_sources: dict[int, Expr] = {}  # slot -> source expression
 
     def lower(self, expr: Expr) -> _Closure:
         if isinstance(expr, Const):
@@ -1091,6 +1093,7 @@ class _Lowerer:
     def _lower_sum(self, expr) -> _Closure:
         self.sum_count += 1
         slot = self.sum_count
+        self.sum_sources[slot] = expr.source
         source_f, body_f = self.lower(expr.source), self.lower(expr.body)
         probe_f = then_f = None
         # Probe detection runs on a guard-hoisted view of the body: greedy
@@ -1111,7 +1114,9 @@ class _Lowerer:
         def python_loop(frames, rt, source):
             rt.fallbacks.add(slot)
             accumulator: Any = 0
+            iterations = 0
             for key, value in iter_items(source):
+                iterations += 1
                 frames.append(key)
                 frames.append(value)
                 try:
@@ -1120,6 +1125,8 @@ class _Lowerer:
                     frames.pop()
                     frames.pop()
                 accumulator = v_add(accumulator, term)
+            if rt.profile is not None:
+                rt.profile.record_loop(slot, iterations)
             return accumulator
 
         def sum_batched(frames, rt, source):
@@ -1176,8 +1183,14 @@ class _Lowerer:
                         return _apply_mask(result, found)
             expanded = _expand_source(rt, source, lanes)
             if not isinstance(expanded, tuple):
+                if rt.profile is not None and lanes:
+                    rt.profile.record_loop(slot, 0, entries=lanes)
                 return expanded  # the source is empty on every lane
             parent, keys, values, counts = expanded
+            if rt.profile is not None and lanes:
+                # parent has one lane per (outer lane, inner element) pair:
+                # the total inner iteration count across the outer lanes.
+                rt.profile.record_loop(slot, parent.shape[0], entries=lanes)
             if parent.shape[0] == 0:
                 return 0
             new_frames = [_reindex(frame, parent) for frame in frames]
@@ -1223,6 +1236,8 @@ class _Lowerer:
                 if space is not None:
                     keys, values = space
                     lanes = keys.shape[0]
+                    if rt.profile is not None:
+                        rt.profile.record_loop(slot, lanes)
                     if lanes == 0:
                         return 0
                     outer_lanes = rt.lanes
@@ -1336,9 +1351,11 @@ class TypedPlan:
     plan: Expr
     function: Callable[..., Any]
     sum_count: int = 0
+    sum_sources: Mapping[int, Expr] | None = None
 
-    def __call__(self, env: Mapping[str, Any], stats: dict | None = None) -> Any:
-        return self.function(env, stats)
+    def __call__(self, env: Mapping[str, Any], stats: dict | None = None,
+                 profile=None) -> Any:
+        return self.function(env, stats, profile)
 
     @property
     def source(self) -> str:
@@ -1362,8 +1379,9 @@ def typed_plan(plan: Expr, name: str = "typed_plan") -> TypedPlan:
     lowerer = _Lowerer()
     root = lowerer.lower(plan)
 
-    def function(env: Mapping[str, Any], stats: dict | None = None) -> Any:
-        rt = _Runtime(env)
+    def function(env: Mapping[str, Any], stats: dict | None = None,
+                 profile=None) -> Any:
+        rt = _Runtime(env, profile=profile)
         result = root([], rt)
         if stats is not None:
             stats["sum_loops"] = lowerer.sum_count
@@ -1374,4 +1392,5 @@ def typed_plan(plan: Expr, name: str = "typed_plan") -> TypedPlan:
                 1 for slot in rt.fallbacks if not isinstance(slot, int))
         return result
 
-    return TypedPlan(plan=plan, function=function, sum_count=lowerer.sum_count)
+    return TypedPlan(plan=plan, function=function, sum_count=lowerer.sum_count,
+                     sum_sources=lowerer.sum_sources)

@@ -142,15 +142,17 @@ class BatchDict:
 class _Runtime:
     """Per-execution state threaded through the closures."""
 
-    __slots__ = ("env", "batched", "lanes", "invariants", "failed_batch", "fallbacks")
+    __slots__ = ("env", "batched", "lanes", "invariants", "failed_batch",
+                 "fallbacks", "profile")
 
-    def __init__(self, env: Mapping[str, Any]):
+    def __init__(self, env: Mapping[str, Any], profile=None):
         self.env = env
         self.batched = False          # inside a vectorized sum body?
         self.lanes = 0                # lane count of the current batched body
         self.invariants: dict = {}    # slot -> value of closed (loop-invariant) subplans
         self.failed_batch: set = set()  # sum slots whose batched body failed this run
         self.fallbacks: set = set()   # loops that ran scalar Python this run
+        self.profile = profile        # optional ExecutionProfile (loop counts)
 
 
 _Closure = Callable[[list, _Runtime], Any]
@@ -372,6 +374,7 @@ class _Lowerer:
         self.sum_count = 0
         self.merge_count = 0
         self.invariant_slots = 0
+        self.sum_sources: dict[int, Expr] = {}  # slot -> source expression
 
     def lower(self, expr: Expr) -> _Closure:
         if isinstance(expr, Const):
@@ -629,6 +632,7 @@ class _Lowerer:
         # This sum's identity in rt.failed_batch; fixed before lowering the
         # children, which advance the counter for their own nested sums.
         slot = self.sum_count
+        self.sum_sources[slot] = expr.source
         source_f, body_f = self.lower(expr.source), self.lower(expr.body)
         # Probe short-circuiting: a body of shape `if (key == e) then t` where
         # `e` is independent of the loop variables turns the whole loop into a
@@ -686,6 +690,8 @@ class _Lowerer:
                 if arrays is not None:
                     keys, values = arrays
                     lanes = keys.shape[0]
+                    if rt.profile is not None:
+                        rt.profile.record_loop(slot, lanes)
                     if lanes == 0:
                         return 0
                     outer_lanes = rt.lanes
@@ -705,7 +711,9 @@ class _Lowerer:
                         return _reduce_batched(body, lanes)
             rt.fallbacks.add(slot)
             accumulator: Any = 0
+            iterations = 0
             for key, value in iter_items(source):
+                iterations += 1
                 frames.append(key)
                 frames.append(value)
                 try:
@@ -714,6 +722,8 @@ class _Lowerer:
                     frames.pop()
                     frames.pop()
                 accumulator = v_add(accumulator, term)
+            if rt.profile is not None:
+                rt.profile.record_loop(slot, iterations)
             return accumulator
         return sum_f
 
@@ -776,9 +786,11 @@ class VectorizedPlan:
     plan: Expr
     function: Callable[..., Any]
     sum_count: int = 0
+    sum_sources: Mapping[int, Expr] | None = None
 
-    def __call__(self, env: Mapping[str, Any], stats: dict | None = None) -> Any:
-        return self.function(env, stats)
+    def __call__(self, env: Mapping[str, Any], stats: dict | None = None,
+                 profile=None) -> Any:
+        return self.function(env, stats, profile)
 
     @property
     def source(self) -> str:
@@ -797,8 +809,9 @@ def vectorize_plan(plan: Expr, name: str = "vectorized_plan") -> VectorizedPlan:
     lowerer = _Lowerer()
     root = lowerer.lower(plan)
 
-    def function(env: Mapping[str, Any], stats: dict | None = None) -> Any:
-        rt = _Runtime(env)
+    def function(env: Mapping[str, Any], stats: dict | None = None,
+                 profile=None) -> Any:
+        rt = _Runtime(env, profile=profile)
         result = root([], rt)
         if stats is not None:
             stats["sum_loops"] = lowerer.sum_count
@@ -809,4 +822,5 @@ def vectorize_plan(plan: Expr, name: str = "vectorized_plan") -> VectorizedPlan:
                 1 for slot in rt.fallbacks if not isinstance(slot, int))
         return result
 
-    return VectorizedPlan(plan=plan, function=function, sum_count=lowerer.sum_count)
+    return VectorizedPlan(plan=plan, function=function, sum_count=lowerer.sum_count,
+                          sum_sources=lowerer.sum_sources)

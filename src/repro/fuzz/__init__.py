@@ -29,7 +29,9 @@ from .gendata import (
 )
 from .genprog import ProgramGenerator, Schema, TensorSpec, generate_program, generate_schema
 from .oracle import (
+    ADAPTIVE_FUZZ_FEEDBACK,
     FUZZ_OPTIMIZER_OPTIONS,
+    AdaptiveDivergence,
     CampaignReport,
     CaseSkipped,
     CatalogUpdate,
@@ -39,10 +41,12 @@ from .oracle import (
     FuzzCase,
     IvmDivergence,
     OracleConfig,
+    adaptive_campaign,
     apply_delta_update_state,
     campaign,
     canonical,
     case_seed,
+    check_adaptive_case,
     check_case,
     check_concurrent_case,
     check_ivm_case,
@@ -52,9 +56,11 @@ from .oracle import (
     generate_updates,
     ivm_campaign,
     replay,
+    replay_adaptive,
     replay_concurrent,
     replay_ivm,
     results_match,
+    shrink_adaptive,
     shrink_ivm,
 )
 from .shrink import shrink_case
@@ -62,15 +68,16 @@ from .shrink import shrink_case
 __all__ = [
     "ProgramGenerator", "Schema", "TensorSpec", "generate_program", "generate_schema",
     "assign_formats", "build_catalog", "legal_format_names", "materialize_tensor",
-    "FUZZ_OPTIMIZER_OPTIONS", "CampaignReport", "CaseSkipped", "CatalogUpdate",
+    "ADAPTIVE_FUZZ_FEEDBACK", "FUZZ_OPTIMIZER_OPTIONS",
+    "AdaptiveDivergence", "CampaignReport", "CaseSkipped", "CatalogUpdate",
     "ConcurrentDivergence", "DeltaUpdate", "Divergence",
     "FuzzCase", "IvmDivergence", "OracleConfig",
-    "apply_delta_update_state", "campaign", "canonical", "case_seed",
-    "check_case", "check_concurrent_case", "check_ivm_case",
-    "concurrent_campaign", "generate_case", "generate_delta_updates",
-    "generate_updates", "ivm_campaign", "replay", "replay_concurrent",
-    "replay_ivm", "results_match",
-    "shrink_case", "shrink_ivm",
+    "adaptive_campaign", "apply_delta_update_state", "campaign", "canonical",
+    "case_seed", "check_adaptive_case", "check_case", "check_concurrent_case",
+    "check_ivm_case", "concurrent_campaign", "generate_case",
+    "generate_delta_updates", "generate_updates", "ivm_campaign", "replay",
+    "replay_adaptive", "replay_concurrent", "replay_ivm", "results_match",
+    "shrink_adaptive", "shrink_case", "shrink_ivm",
     "CorpusEntry", "load_corpus_case", "load_corpus_entry",
     "render_corpus_case", "write_corpus_case",
 ]

@@ -26,6 +26,14 @@ through ``Server.update``, and every maintained value must equal full
 re-execution at that state::
 
     PYTHONPATH=src python -m repro.fuzz --ivm --seed 1 --cases 200
+
+``--adaptive`` switches to the feedback-loop campaign: each case's prepared
+statements execute repeatedly with profiling on every run and an aggressive
+re-optimize threshold while sparse updates drift the data, and every result
+— before and after each transparent re-preparation — must equal the serial
+reference at that state::
+
+    PYTHONPATH=src python -m repro.fuzz --adaptive --seed 1 --cases 200
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .oracle import campaign, concurrent_campaign, ivm_campaign
+from .oracle import adaptive_campaign, campaign, concurrent_campaign, ivm_campaign
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -66,18 +74,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ivm", action="store_true",
                         help="view-maintenance mode: maintained views vs. full "
                              "re-execution after random sparse updates")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="feedback-loop mode: repeated profiled executions "
+                             "with mid-campaign re-optimization vs. the serial "
+                             "reference after random sparse updates")
     parser.add_argument("--readers", type=int, default=3,
                         help="concurrent mode: reader threads per case (default 3)")
     parser.add_argument("--updates", type=int, default=None,
-                        help="concurrent/ivm mode: updates per case "
-                             "(default 5 concurrent, 4 ivm)")
-    parser.add_argument("--executions", type=int, default=4,
-                        help="concurrent mode: executions per reader (default 4)")
+                        help="concurrent/ivm/adaptive mode: updates per case "
+                             "(default 5 concurrent, 4 ivm, 3 adaptive)")
+    parser.add_argument("--executions", type=int, default=None,
+                        help="concurrent mode: executions per reader; adaptive "
+                             "mode: executions per statement per state "
+                             "(default 4 concurrent, 3 adaptive)")
     args = parser.parse_args(argv)
-    if args.concurrent and args.ivm:
-        parser.error("--concurrent and --ivm are mutually exclusive")
+    if sum((args.concurrent, args.ivm, args.adaptive)) > 1:
+        parser.error("--concurrent, --ivm and --adaptive are mutually exclusive")
 
-    if args.ivm:
+    if args.adaptive:
+        report = adaptive_campaign(
+            args.seed, args.cases,
+            updates_per_case=3 if args.updates is None else args.updates,
+            executions=3 if args.executions is None else args.executions,
+            shrink=not args.no_shrink,
+            out_dir=args.out,
+            time_budget=args.time_budget,
+            max_failures=args.max_failures,
+            progress=not args.quiet,
+            case_options={"fuel": args.fuel},
+        )
+    elif args.ivm:
         report = ivm_campaign(
             args.seed, args.cases,
             updates_per_case=4 if args.updates is None else args.updates,
@@ -92,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         report = concurrent_campaign(
             args.seed, args.cases,
             readers=args.readers,
-            executions=args.executions,
+            executions=4 if args.executions is None else args.executions,
             updates_per_case=5 if args.updates is None else args.updates,
             out_dir=args.out,
             time_budget=args.time_budget,

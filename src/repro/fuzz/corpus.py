@@ -22,7 +22,11 @@ catalog-update sequence the case raced against — and replay through
 IVM-mode repros (from :func:`repro.fuzz.oracle.ivm_campaign`) likewise add
 ``MODE = "ivm"`` and ``DELTAS``, the sparse point-update sequence whose
 maintained views disagreed with full re-execution, and replay through
-:func:`repro.fuzz.oracle.replay_ivm`.
+:func:`repro.fuzz.oracle.replay_ivm`.  Adaptive-mode repros (from
+:func:`repro.fuzz.oracle.adaptive_campaign`) reuse the ``DELTAS`` key with
+``MODE = "adaptive"`` — the updates drift the data while the feedback loop
+re-optimizes — and replay through :func:`repro.fuzz.oracle.replay_adaptive`;
+the divergence class picks the mode via its ``corpus_mode`` attribute.
 """
 
 from __future__ import annotations
@@ -48,12 +52,15 @@ def render_corpus_case(divergence) -> str:
     case = divergence.case
     updates = getattr(divergence, "updates", None)
     deltas = getattr(divergence, "deltas", None)
+    delta_mode = getattr(divergence, "corpus_mode", "ivm")
     what = (f"raised {divergence.error}" if divergence.error is not None
             else "diverged from the reference result")
     if updates is not None:
         what = f"{what} under concurrent catalog updates"
     if deltas is not None:
-        what = f"{what} under maintained sparse updates"
+        what = (f"{what} under adaptive re-optimization"
+                if delta_mode == "adaptive"
+                else f"{what} under maintained sparse updates")
     lines = [
         f'"""Shrunk fuzz repro (seed {case.seed}): '
         f'{divergence.method}/{divergence.backend} {what}."""',
@@ -69,7 +76,7 @@ def render_corpus_case(divergence) -> str:
         lines.append('MODE = "concurrent"')
         lines.append(f"UPDATES = {[update.as_dict() for update in updates]!r}")
     if deltas is not None:
-        lines.append('MODE = "ivm"')
+        lines.append(f"MODE = {delta_mode!r}")
         lines.append(f"DELTAS = {[delta.as_dict() for delta in deltas]!r}")
     return "\n".join(lines) + "\n"
 
@@ -82,7 +89,7 @@ def write_corpus_case(divergence, directory: str | pathlib.Path
     if getattr(divergence, "updates", None) is not None:
         mode = "concurrent_"
     elif getattr(divergence, "deltas", None) is not None:
-        mode = "ivm_"
+        mode = getattr(divergence, "corpus_mode", "ivm") + "_"
     else:
         mode = ""
     name = (f"fuzz_{mode}seed{divergence.case.seed}_{divergence.method}_"
@@ -98,7 +105,7 @@ class CorpusEntry:
 
     case: FuzzCase
     configs: list[tuple[str, str]]
-    mode: str = "serial"                       # "serial" | "concurrent" | "ivm"
+    mode: str = "serial"          # "serial" | "concurrent" | "ivm" | "adaptive"
     updates: list[CatalogUpdate] = field(default_factory=list)
     deltas: list[DeltaUpdate] = field(default_factory=list)
 

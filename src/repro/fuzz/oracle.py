@@ -1026,3 +1026,223 @@ def replay_ivm(case: FuzzCase, deltas: Iterable[DeltaUpdate | Mapping],
     else:
         config = OracleConfig(**tolerances)
     return check_ivm_case(case, deltas, config=config)
+
+
+# ---------------------------------------------------------------------------
+# adaptive campaigns: feedback-driven re-optimization is result-invariant
+# ---------------------------------------------------------------------------
+#
+# The adaptive loop (repro.core.feedback, docs/adaptive.md) profiles sampled
+# executions, folds observed cardinalities into the statistics, and makes
+# statements whose estimates were off transparently re-prepare — possibly
+# choosing a *different plan* mid-stream.  The invariant the adaptive oracle
+# checks is that none of this is ever observable in results: with profiling
+# on every run and an aggressive re-optimize threshold, a statement executed
+# repeatedly while sparse updates drift the data underneath it must return
+# the serial reference value at every state, no matter how many times the
+# feedback loop re-optimized it in between.
+
+
+#: The deliberately aggressive loop configuration fuzzing runs under: every
+#: execution is profiled and a 5% estimation error already re-optimizes, so
+#: mid-campaign re-preparation — the machinery under test — fires constantly.
+ADAPTIVE_FUZZ_FEEDBACK: dict = {"sample_every": 1, "threshold": 1.05}
+
+
+@dataclass
+class AdaptiveDivergence:
+    """An adaptively re-optimized statement that changed its answer.
+
+    ``step`` is the update index after which the disagreement was observed
+    (``-1`` = before any update); ``execution`` is the repeat at that state
+    (re-preparation typically happens *between* repeats, so a failure at
+    ``execution > 0`` points at the re-optimized plan).
+    """
+
+    #: Corpus serialization tag (see :mod:`repro.fuzz.corpus`).
+    corpus_mode = "adaptive"
+
+    case: FuzzCase
+    deltas: list[DeltaUpdate]
+    step: int
+    method: str
+    backend: str
+    execution: int = 0
+    actual: Any = None
+    error: str | None = None
+    expected: Any = None
+
+    def describe(self) -> str:
+        head = (f"seed={self.case.seed} adaptive {self.method}/{self.backend} "
+                f"step={self.step} execution={self.execution} "
+                f"formats={self.case.formats} "
+                f"deltas={[d.as_dict() for d in self.deltas]}")
+        if self.error is not None:
+            return f"{head}\n  raised: {self.error}\n  program: {self.case.source}"
+        return (f"{head}\n  actual:   {self.actual!r}\n"
+                f"  expected: {self.expected!r}\n"
+                f"  program: {self.case.source}")
+
+
+def check_adaptive_case(case: FuzzCase, deltas: list[DeltaUpdate], *,
+                        config: OracleConfig | None = None,
+                        executions: int = 3,
+                        max_statements: int = 4) -> AdaptiveDivergence | None:
+    """Execute one case repeatedly under the adaptive loop; assert invariance.
+
+    One prepared statement per (method, backend) pair — minus the
+    composed-plan pseudo-method — lives on a single
+    :class:`~repro.session.Session` with feedback profiling on *every*
+    execution (:data:`ADAPTIVE_FUZZ_FEEDBACK`).  At each state (the initial
+    one and after every sparse update) each statement executes
+    ``executions`` times; every result must equal the serial reference at
+    that state.  Observed cardinalities accumulate across statements, so an
+    epoch bumped by one statement's profile re-prepares all of them — the
+    densest re-optimization schedule the production loop can produce.
+    """
+    from ..core.feedback import FeedbackConfig
+
+    config = config or OracleConfig()
+    pairs = [(method, backend) for method, backend in
+             (list(config.pairs()) or [("greedy", "compile")])
+             if method not in ("unoptimized", "egraph-legacy")][:max_statements]
+    if not pairs:
+        pairs = [("greedy", "compile")]
+    expected = _ivm_state_results(case, deltas, config)
+
+    session = Session(build_catalog(case.tensors, case.formats, case.scalars),
+                      optimizer_options=dict(config.optimizer_options),
+                      feedback=FeedbackConfig(**ADAPTIVE_FUZZ_FEEDBACK))
+    statements = []
+    for method, backend in pairs:
+        try:
+            statements.append(session.prepare(case.program, method=method,
+                                              backend=backend))
+        except Exception as exc:  # noqa: BLE001 - errors are divergences
+            return AdaptiveDivergence(case, deltas, -1, method, backend,
+                                      error=f"{type(exc).__name__}: {exc}")
+    for step in range(-1, len(deltas)):
+        if step >= 0:
+            update = deltas[step]
+            try:
+                session.update(update.name,
+                               np.asarray(update.coords, dtype=np.int64),
+                               np.asarray(update.values, dtype=np.float64))
+            except Exception as exc:  # noqa: BLE001
+                return AdaptiveDivergence(case, deltas, step, "*", "*",
+                                          error=f"{type(exc).__name__}: {exc}")
+        witness = expected[step + 1]
+        for (method, backend), statement in zip(pairs, statements):
+            for repeat in range(executions):
+                try:
+                    value = canonical(statement.execute(),
+                                      abs_tol=config.abs_tol)
+                except Exception as exc:  # noqa: BLE001
+                    return AdaptiveDivergence(
+                        case, deltas, step, method, backend, execution=repeat,
+                        error=f"{type(exc).__name__}: {exc}")
+                if not results_match(witness, value, rel_tol=config.rel_tol,
+                                     abs_tol=config.abs_tol):
+                    return AdaptiveDivergence(
+                        case, deltas, step, method, backend, execution=repeat,
+                        actual=value, expected=witness)
+    return None
+
+
+def shrink_adaptive(divergence: AdaptiveDivergence, *,
+                    config: OracleConfig | None = None,
+                    max_attempts: int = 48) -> AdaptiveDivergence:
+    """Greedy delta-debugging of an adaptive failure's update sequence.
+
+    Tries dropping whole updates (newest first) while the case still
+    diverges; program and data are left to the serial shrinker's domain.
+    """
+    config = config or OracleConfig()
+    best = divergence
+    attempts = 0
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        for index in range(len(best.deltas) - 1, -1, -1):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            candidate = best.deltas[:index] + best.deltas[index + 1:]
+            try:
+                reduced = check_adaptive_case(best.case, candidate, config=config)
+            except CaseSkipped:
+                reduced = None
+            if reduced is not None:
+                best, changed = reduced, True
+    return best
+
+
+def adaptive_campaign(seed: int, cases: int, *,
+                      config: OracleConfig | None = None,
+                      updates_per_case: int = 3, executions: int = 3,
+                      shrink: bool = True, out_dir: str | None = None,
+                      time_budget: float | None = None, max_failures: int = 5,
+                      progress: bool = False,
+                      case_options: Mapping[str, Any] | None = None
+                      ) -> CampaignReport:
+    """A seeded campaign of :func:`check_adaptive_case` points.
+
+    Case and update generation derive deterministically from ``seed``, and
+    checking is single-threaded (the adaptive loop itself is the moving
+    part), so campaigns replay exactly.  Failures are shrunk
+    (update-sequence only) and serialized as ``MODE = "adaptive"`` corpus
+    files when ``out_dir`` is given.
+    """
+    from .corpus import write_corpus_case
+
+    base_config = config or OracleConfig()
+    report = CampaignReport(seed=seed)
+    start = time.perf_counter()
+    options = dict(case_options or {})
+    for index in range(cases):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        case = generate_case(case_seed(seed, index), **options)
+        rng = random.Random(case.seed ^ 0x0ADA9FED)
+        deltas = generate_delta_updates(case, rng, updates_per_case)
+        try:
+            divergence = check_adaptive_case(case, deltas, config=base_config,
+                                             executions=executions)
+        except CaseSkipped:
+            report.skipped += 1
+            report.cases_run += 1
+            continue
+        report.cases_run += 1
+        if divergence is not None:
+            if shrink:
+                divergence = shrink_adaptive(divergence, config=base_config)
+            report.divergences.append(divergence)
+            if out_dir is not None:
+                report.corpus_paths.append(str(write_corpus_case(divergence, out_dir)))
+            if len(report.divergences) >= max_failures:
+                break
+        if progress and (index + 1) % 10 == 0:
+            elapsed = time.perf_counter() - start
+            print(f"  [{index + 1}/{cases}] {elapsed:.1f}s "
+                  f"({report.skipped} skipped, "
+                  f"{len(report.divergences)} divergences)")
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def replay_adaptive(case: FuzzCase, deltas: Iterable[DeltaUpdate | Mapping],
+                    configs: Iterable[tuple[str, str]] | None = None,
+                    *, executions: int = 3,
+                    **tolerances) -> AdaptiveDivergence | None:
+    """Re-run a (corpus-loaded) adaptive case and re-check result invariance."""
+    deltas = [delta if isinstance(delta, DeltaUpdate)
+              else DeltaUpdate.from_dict(delta) for delta in deltas]
+    if configs:
+        configs = list(configs)
+        methods = tuple(dict.fromkeys(method for method, _ in configs))
+        backends = tuple(dict.fromkeys(backend for _, backend in configs))
+        config = OracleConfig(backends=backends, methods=methods, **tolerances)
+    else:
+        config = OracleConfig(**tolerances)
+    return check_adaptive_case(case, deltas, config=config,
+                               executions=executions)

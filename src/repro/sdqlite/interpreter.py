@@ -66,14 +66,22 @@ from .values import (
 
 
 class Environment:
-    """Evaluation environment: global symbols plus a stack of bound variables."""
+    """Evaluation environment: global symbols plus a stack of bound variables.
 
-    __slots__ = ("globals", "_stack", "_names")
+    ``profile`` is an optional :class:`~repro.execution.profile.ExecutionProfile`;
+    when set, every ``sum`` loop records its iteration count (keyed by the
+    :class:`~repro.sdqlite.ast.Sum` node itself).  The default ``None`` costs
+    one attribute check per loop, not per iteration.
+    """
 
-    def __init__(self, globals_: Mapping[str, Any] | None = None):
+    __slots__ = ("globals", "_stack", "_names", "profile")
+
+    def __init__(self, globals_: Mapping[str, Any] | None = None,
+                 profile=None):
         self.globals = dict(globals_ or {})
         self._stack: list[Any] = []
         self._names: list[str | None] = []
+        self.profile = profile
 
     def push(self, value: Any, name: str | None = None) -> None:
         self._stack.append(value)
@@ -104,7 +112,7 @@ class Environment:
 
 
 def evaluate(expr: Expr, globals_: Mapping[str, Any] | None = None,
-             env: Environment | None = None) -> Any:
+             env: Environment | None = None, profile=None) -> Any:
     """Evaluate ``expr`` and return a scalar or a :class:`SemiringDict`.
 
     Parameters
@@ -115,9 +123,12 @@ def evaluate(expr: Expr, globals_: Mapping[str, Any] | None = None,
         Mapping from global symbol names to runtime values.
     env:
         An existing environment (used internally for recursion).
+    profile:
+        Optional :class:`~repro.execution.profile.ExecutionProfile` that
+        receives per-``sum``-loop iteration counts.
     """
     if env is None:
-        env = Environment(globals_)
+        env = Environment(globals_, profile=profile)
     return _eval(expr, env)
 
 
@@ -194,7 +205,9 @@ def _eval(expr: Expr, env: Environment) -> Any:
 def _eval_sum(expr: Sum, env: Environment) -> Any:
     source = _eval(expr.source, env)
     accumulator: Any = 0
+    iterations = 0
     for key, value in iter_items(source):
+        iterations += 1
         env.push(key, expr.key_name)
         env.push(value, expr.val_name)
         try:
@@ -202,6 +215,8 @@ def _eval_sum(expr: Sum, env: Environment) -> Any:
         finally:
             env.pop(2)
         accumulator = v_add(accumulator, term)
+    if env.profile is not None:
+        env.profile.record_loop(expr, iterations)
     return accumulator
 
 

@@ -38,6 +38,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..core.feedback import FeedbackConfig, FeedbackStore
 from ..core.optimizer import Optimizer
 from ..core.statistics import Statistics
 from ..execution.engine import (
@@ -46,6 +47,7 @@ from ..execution.engine import (
     PlanCache,
     result_to_dense,
 )
+from ..execution.profile import ExecutionProfile
 from ..sdqlite.ast import Expr
 from ..sdqlite.debruijn import to_debruijn_safe
 from ..sdqlite.errors import StorageError
@@ -94,6 +96,16 @@ class ServerConfig:
         Materialized snapshot environments kept per catalog version.
     ``latency_window``
         Latency observations retained for p50/p99 queries.
+    ``profile_every``
+        Profile one in every ``profile_every`` served executions and feed
+        observed cardinalities back into the optimizer statistics
+        (``docs/adaptive.md``).  ``0`` (the default) disables the adaptive
+        loop entirely — served executions are byte-identical to a server
+        without this feature.
+    ``reoptimize_threshold``
+        Minimum q-error (symmetric estimated/actual factor) before an
+        observation is adopted; adopting one bumps the adaptive epoch, so
+        affected queries transparently re-prepare through the shared cache.
     """
 
     max_concurrency: int = 8
@@ -103,6 +115,8 @@ class ServerConfig:
     lowered_cache_size: int = 256
     env_cache_size: int = 4
     latency_window: int = 8192
+    profile_every: int = 0
+    reoptimize_threshold: float = 2.0
 
 
 class AdmissionGate:
@@ -197,9 +211,13 @@ class Server:
         self._gate = AdmissionGate(self.config.max_concurrency,
                                    self.config.max_queue,
                                    self.config.queue_timeout)
+        self.feedback = (FeedbackStore(FeedbackConfig(
+            sample_every=self.config.profile_every,
+            threshold=self.config.reoptimize_threshold))
+            if self.config.profile_every > 0 else None)
         self._envs: OrderedDict[int, dict[str, Any]] = OrderedDict()
         self._statistics: OrderedDict[int, Statistics] = OrderedDict()
-        self._prepared_epochs: dict[tuple, int] = {}
+        self._prepared_epochs: dict[tuple, tuple[int, int]] = {}
         self._memo_lock = threading.Lock()
         self._views = None  # lazy repro.ivm.views.ViewRegistry
         self._views_lock = threading.Lock()
@@ -344,6 +362,10 @@ class Server:
         """Eagerly drop shared plans from superseded schema epochs."""
         return self.plans.purge_stale(self.catalog.schema_version)
 
+    def feedback_report(self) -> dict[str, Any]:
+        """Lifetime counters of the adaptive feedback loop (empty when off)."""
+        return self.feedback.snapshot() if self.feedback is not None else {}
+
     # -- client entry points ---------------------------------------------------
 
     def session(self, *, method: str | None = None, backend: str | None = None,
@@ -415,6 +437,13 @@ class Server:
         consumes."""
         key = plan_key(query, method=method, backend=backend,
                        optimizer_options=optimizer_options, snapshot=snapshot)
+        feedback_epoch = self.feedback.epoch if self.feedback is not None else 0
+        if self.feedback is not None:
+            # The adaptive epoch rides at the TAIL of the key: ``base_key``
+            # (the first four components) stays the query's stable identity,
+            # and adopting new observations structurally invalidates every
+            # plan optimized under the old statistics.
+            key = key + (feedback_epoch,)
 
         def build() -> SharedPlan:
             options = dict(self.optimizer_options)
@@ -436,9 +465,16 @@ class Server:
             self.stats.count("plan_misses")
             with self._memo_lock:
                 previous = self._prepared_epochs.get(base_key(key))
-                self._prepared_epochs[base_key(key)] = snapshot.schema_version
-            if previous is not None and previous != snapshot.schema_version:
-                self.stats.count("re_prepares")
+                self._prepared_epochs[base_key(key)] = (snapshot.schema_version,
+                                                        feedback_epoch)
+            if previous is not None:
+                prev_schema, prev_feedback = previous
+                if prev_schema != snapshot.schema_version:
+                    self.stats.count("re_prepares")
+                elif prev_feedback != feedback_epoch:
+                    # Same schema, new adaptive epoch: this miss is the
+                    # feedback loop re-optimizing the query.
+                    self.stats.count("re_optimizations")
         return entry
 
     def _serve(self, query: Expr, program: Expr, *, method: str, backend: str,
@@ -476,7 +512,26 @@ class Server:
                         f"registered scalars: {sorted(snapshot.scalars)}")
                 env = dict(env)
                 env.update(scalar_params)
-            result = entry.run(env)
+            store = self.feedback
+            if store is not None and store.should_sample():
+                # Sampled execution: profile loop iteration counts and the
+                # output cardinality, then fold them into the snapshot's
+                # statistics.  Misestimations beyond the threshold bump the
+                # adaptive epoch, so the next request for an affected query
+                # misses the shared cache and re-optimizes with the
+                # observed numbers.
+                profile = ExecutionProfile()
+                result = entry.prepared.run(env, None, profile)
+                profile.record_output(result)
+                counters = store.ingest(self._statistics_for(snapshot),
+                                        entry.prepared, profile,
+                                        snapshot.version)
+                self.stats.count("profiled_runs")
+                if counters["feedback_misestimations"]:
+                    self.stats.count("misestimations",
+                                     counters["feedback_misestimations"])
+            else:
+                result = entry.run(env)
             if dense_shape is not None:
                 result = result_to_dense(result, dense_shape)
             return result

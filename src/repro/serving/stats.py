@@ -77,6 +77,15 @@ class ServerStats:
     ``plan_misses``     required a full prepare (optimize + lower)
     ``re_prepares``     misses for a query the server had already prepared
                         under an older schema epoch (invalidation cost)
+    ``profiled_runs``   executions sampled by the adaptive feedback loop
+    ``misestimations``  profiled observations whose estimated vs actual
+                        cardinality q-error exceeded the re-optimize
+                        threshold (each one refines the statistics)
+    ``re_optimizations`` misses for a query already prepared under the same
+                        schema but an older *adaptive* epoch: the feedback
+                        loop re-optimizing with observed cardinalities
+    ``advisor_applies`` format changes auto-applied by the online advisor
+    ``advisor_rollbacks`` of those, rolled back by the regression guard
     ``rejected_full``   rejected immediately: admission queue at capacity
     ``rejected_timeout`` gave up waiting for an execution slot
     ``errors``          admitted requests that raised during execution
@@ -106,6 +115,11 @@ class ServerStats:
         self.plan_hits = 0
         self.plan_misses = 0
         self.re_prepares = 0
+        self.profiled_runs = 0
+        self.misestimations = 0
+        self.re_optimizations = 0
+        self.advisor_applies = 0
+        self.advisor_rollbacks = 0
         self.rejected_full = 0
         self.rejected_timeout = 0
         self.errors = 0
@@ -169,6 +183,11 @@ class ServerStats:
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,
                 "re_prepares": self.re_prepares,
+                "profiled_runs": self.profiled_runs,
+                "misestimations": self.misestimations,
+                "re_optimizations": self.re_optimizations,
+                "advisor_applies": self.advisor_applies,
+                "advisor_rollbacks": self.advisor_rollbacks,
                 "hit_rate": round(self.plan_hits / (self.plan_hits + self.plan_misses), 4)
                             if (self.plan_hits + self.plan_misses) else 0.0,
                 "rejected_full": self.rejected_full,

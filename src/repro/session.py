@@ -46,6 +46,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
+from .core.feedback import FeedbackConfig, FeedbackStore
 from .core.optimizer import OptimizationResult, Optimizer
 from .core.statistics import Statistics
 from .execution.engine import (
@@ -55,6 +56,7 @@ from .execution.engine import (
     PreparedPlan,
     result_to_dense,
 )
+from .execution.profile import ExecutionProfile
 from .sdqlite.ast import Expr, Sym, children
 from .sdqlite.errors import StorageError
 from .sdqlite.parser import parse_expr
@@ -146,11 +148,20 @@ class Session:
         Default keyword arguments for every
         :class:`~repro.core.optimizer.Optimizer` this session builds
         (e.g. ``iter_limit``); per-statement options override them.
+    feedback:
+        A :class:`~repro.core.feedback.FeedbackConfig` to enable the
+        adaptive feedback loop (``docs/adaptive.md``): sampled executions
+        are profiled, observed cardinalities refine the statistics, and
+        statements whose estimates were off by more than the configured
+        q-error threshold transparently re-prepare.  ``None`` (the default)
+        disables the loop entirely; :meth:`enable_feedback` turns it on
+        after construction.
     """
 
     def __init__(self, catalog: Catalog | None = None, *, method: str = "greedy",
                  backend: str = "compile", cache: PlanCache | None = None,
-                 optimizer_options: Mapping[str, Any] | None = None):
+                 optimizer_options: Mapping[str, Any] | None = None,
+                 feedback: FeedbackConfig | None = None):
         self.catalog = catalog if catalog is not None else Catalog()
         self.method = method
         self.backend = backend
@@ -162,8 +173,9 @@ class Session:
         self._env_version = -1
         self._engines: dict[str, ExecutionEngine] = {}
         self._opt_memo: dict[Any, OptimizationResult] = {}
-        self._opt_memo_version = -1
+        self._opt_memo_version: Any = None
         self._views = None  # lazy repro.ivm.views.ViewRegistry
+        self._feedback = FeedbackStore(feedback) if feedback is not None else None
         # One re-entrant lock guards every piece of derived state above
         # (statistics, environment, engines, the optimizer memo) plus the
         # catalog-mutation + incremental-stats-patch pairs, so one Session
@@ -208,6 +220,9 @@ class Session:
     # patches the memoized statistics in place.  No other invalidation is
     # needed: the environment, engines, optimizer memo and statements all
     # compare epochs lazily and rebuild / re-prepare on their next use.
+    # Runtime cardinality observations describe the *pre-mutation* data, so
+    # every patch also drops them — the feedback loop re-learns them from
+    # the next sampled executions.
 
     def register(self, fmt) -> "Session":
         """Register a new tensor (see :meth:`repro.storage.Catalog.add`)."""
@@ -216,6 +231,7 @@ class Session:
             self.catalog.add(fmt)
             if in_sync:
                 self._stats.apply_format(fmt)
+                self._stats.clear_observations()
                 self._stats_version = self.catalog.version
         return self
 
@@ -231,6 +247,7 @@ class Session:
             self.catalog.set_scalar(name, value)
             if in_sync:
                 self._stats.set_scalar(name, value)
+                self._stats.clear_observations()
                 self._stats_version = self.catalog.version
         return self
 
@@ -245,6 +262,7 @@ class Session:
                     self._stats.remove_format(fmt)
                 else:
                     self._stats.remove_scalar(name)
+                self._stats.clear_observations()
                 self._stats_version = self.catalog.version
         return self
 
@@ -257,6 +275,7 @@ class Session:
             if in_sync:
                 self._stats.remove_format(old)
                 self._stats.apply_format(fmt)
+                self._stats.clear_observations()
                 self._stats_version = self.catalog.version
         return self
 
@@ -269,6 +288,7 @@ class Session:
             if in_sync and old is not None:
                 self._stats.remove_format(old)
                 self._stats.apply_format(self.catalog.tensors[name])
+                self._stats.clear_observations()
                 self._stats_version = self.catalog.version
 
     def update(self, name: str, coords, values) -> "Session":
@@ -375,6 +395,57 @@ class Session:
         constructor["optimizer_options"] = options
         return Advisor(self, **constructor).advise(programs, **kwargs)
 
+    # -- adaptive feedback loop ------------------------------------------------
+
+    @property
+    def feedback(self) -> FeedbackStore | None:
+        """The session's :class:`FeedbackStore`, or ``None`` when disabled."""
+        return self._feedback
+
+    def enable_feedback(self, *, sample_every: int = 8,
+                        threshold: float = 2.0) -> "Session":
+        """Turn on the adaptive feedback loop (see ``docs/adaptive.md``).
+
+        One in every ``sample_every`` executions of each statement is
+        profiled; observed cardinalities that disagree with the estimates by
+        more than a ``threshold`` q-error refine the statistics and make
+        dependent statements re-prepare on their next execution.  Idempotent
+        when already enabled with the same configuration; re-configuring
+        replaces the store (and resets its counters).
+        """
+        config = FeedbackConfig(sample_every=sample_every, threshold=threshold)
+        with self._lock:
+            if self._feedback is None or self._feedback.config != config:
+                self._feedback = FeedbackStore(config)
+        return self
+
+    def disable_feedback(self) -> "Session":
+        """Turn the adaptive feedback loop off.
+
+        Already-adopted observations stay in the statistics (they still
+        describe the current data); only profiling and ingestion stop.
+        Re-enabling later starts a fresh store with reset counters.
+        """
+        with self._lock:
+            self._feedback = None
+        return self
+
+    def feedback_report(self) -> dict[str, Any]:
+        """Lifetime counters of the feedback loop (empty dict when disabled)."""
+        store = self._feedback
+        return store.snapshot() if store is not None else {}
+
+    def _feedback_epoch(self) -> int:
+        store = self._feedback
+        return store.epoch if store is not None else 0
+
+    def _ingest_profile(self, prepared: PreparedPlan,
+                        profile: ExecutionProfile) -> dict[str, Any]:
+        """Fold one sampled execution profile into the session statistics."""
+        with self._lock:
+            return self._feedback.ingest(self.statistics(), prepared, profile,
+                                         self.catalog.version)
+
     # -- derived state, kept in sync with the catalog epochs ------------------
 
     def statistics(self) -> Statistics:
@@ -412,11 +483,17 @@ class Session:
 
     def _optimize(self, expr: Expr, method: str,
                   optimizer_options: Mapping[str, Any]) -> OptimizationResult:
-        """Cost-based optimization, memoized per (program, method, options, epoch)."""
+        """Cost-based optimization, memoized per (program, method, options, epoch).
+
+        The memo token pairs the catalog version with the feedback epoch, so
+        adopting runtime observations invalidates memoized plans exactly like
+        a catalog change does.
+        """
         with self._lock:
-            if self._opt_memo_version != self.catalog.version:
+            memo_token = (self.catalog.version, self._feedback_epoch())
+            if self._opt_memo_version != memo_token:
                 self._opt_memo.clear()
-                self._opt_memo_version = self.catalog.version
+                self._opt_memo_version = memo_token
             options = dict(self.optimizer_options)
             options.update(optimizer_options)
             key = (expr, method, tuple(sorted(options.items())))
@@ -499,6 +576,7 @@ class Statement:
         self._bound: tuple[PreparedPlan, Mapping[str, Any]] | None = None
         self._schema_version = -1
         self._version = -1
+        self._feedback_seen = 0
         self._prepare()
 
     # -- preparation / invalidation -------------------------------------------
@@ -525,6 +603,7 @@ class Statement:
             self._bound = (engine.prepare(self.optimization.plan), engine.env)
             self._schema_version = schema_version
             self._version = version
+            self._feedback_seen = session._feedback_epoch()
 
     @property
     def _prepared(self) -> PreparedPlan | None:
@@ -540,14 +619,19 @@ class Statement:
         return self._schema_version != self._session.catalog.schema_version
 
     def _revalidate(self) -> None:
-        catalog = self._session.catalog
+        session = self._session
+        catalog = session.catalog
         if (catalog.schema_version == self._schema_version
-                and catalog.version == self._version):
+                and catalog.version == self._version
+                and session._feedback_epoch() == self._feedback_seen):
             return  # fast path: nothing moved, no locking on the hot path
-        with self._session._lock:
-            if catalog.schema_version != self._schema_version:
-                # Re-optimize and re-lower.  When the schema change left the
-                # plan and symbol schema intact, the cache key is unchanged and
+        with session._lock:
+            if (catalog.schema_version != self._schema_version
+                    or session._feedback_epoch() != self._feedback_seen):
+                # Re-optimize and re-lower — the schema changed, or the
+                # feedback loop adopted new cardinality observations.  When
+                # the change left the plan and symbol schema intact, the
+                # cache key is unchanged and
                 # re-preparation is a pure cache hit.  If the key did change,
                 # the old entry is dead weight for this statement — evict it,
                 # but only from a session-private cache: artifacts are plan-pure,
@@ -577,6 +661,29 @@ class Statement:
             return result_to_dense(result, self.dense_shape)
         return result
 
+    def _run(self, stats: dict | None, scalar_params: Mapping[str, Any]) -> Any:
+        self._revalidate()
+        prepared, env = self._bound
+        if scalar_params:
+            self._check_params(scalar_params)
+            env = dict(env)
+            env.update(scalar_params)
+        store = self._session._feedback
+        if store is not None and store.should_sample():
+            # Sampled execution: collect per-loop iteration counts plus the
+            # output cardinality and feed them back into the statistics.
+            # The raw backend result is profiled *before* any dense
+            # conversion, so the typed backend's buffer lengths are read
+            # directly.
+            profile = ExecutionProfile()
+            result = prepared.run(env, stats, profile)
+            profile.record_output(result)
+            counters = self._session._ingest_profile(prepared, profile)
+            if stats is not None:
+                stats.update(counters)
+            return self._finish(result)
+        return self._finish(prepared.run(env, stats))
+
     def execute(self, **scalar_params: float) -> Any:
         """Execute the prepared plan, re-binding the given scalar parameters.
 
@@ -585,13 +692,7 @@ class Statement:
         :class:`~repro.sdqlite.errors.StorageError`.  Parameters given here
         override the catalog value for this execution only.
         """
-        self._revalidate()
-        prepared, env = self._bound
-        if scalar_params:
-            self._check_params(scalar_params)
-            env = dict(env)
-            env.update(scalar_params)
-        return self._finish(prepared.run(env))
+        return self._run(None, scalar_params)
 
     def execute_with_stats(self, stats: dict, **scalar_params: float) -> Any:
         """Like :meth:`execute`, but populate ``stats`` with backend counters.
@@ -599,15 +700,14 @@ class Statement:
         The vectorize and typed backends record loop/fallback counts
         (``sum_loops``, ``merge_loops``, ``fallback_sums``,
         ``fallback_merges``) into the given dictionary; other backends
-        leave it untouched.
+        leave it untouched.  When the session's adaptive feedback loop is
+        enabled and this execution was sampled, the dictionary additionally
+        receives the estimated-vs-actual counters (``feedback_checked``,
+        ``feedback_misestimations``, ``feedback_max_q_error``,
+        ``feedback_refined``) — :meth:`RunOutcome.explain` renders them in
+        its ``execution counters`` block.
         """
-        self._revalidate()
-        prepared, env = self._bound
-        if scalar_params:
-            self._check_params(scalar_params)
-            env = dict(env)
-            env.update(scalar_params)
-        return self._finish(prepared.run(env, stats))
+        return self._run(stats, scalar_params)
 
     def execute_many(self, param_batches: Iterable[Mapping[str, float]]) -> list:
         """Execute once per parameter binding, amortizing environment setup.

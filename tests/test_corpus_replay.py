@@ -12,14 +12,25 @@ update sequence through the serving layer, and every observed result must
 still match some serial prefix state.  IVM-mode files (``MODE = "ivm"``)
 replay through ``replay_ivm``: the case's program is maintained as
 materialized views across its serialized sparse-update sequence, and every
-maintained value must equal full re-execution.
+maintained value must equal full re-execution.  Adaptive-mode files
+(``MODE = "adaptive"``) replay through ``replay_adaptive``: the case's
+statements re-execute repeatedly under the always-profiling feedback loop
+across the same kind of sparse-update sequence, and every result — however
+many times the loop re-optimized in between — must equal the serial
+reference.
 """
 
 import pathlib
 
 import pytest
 
-from repro.fuzz import load_corpus_entry, replay, replay_concurrent, replay_ivm
+from repro.fuzz import (
+    load_corpus_entry,
+    replay,
+    replay_adaptive,
+    replay_concurrent,
+    replay_ivm,
+)
 
 CORPUS_DIR = pathlib.Path(__file__).resolve().parent / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("*.py"))
@@ -41,6 +52,12 @@ def test_corpus_has_ivm_entry():
         "corpus should seed at least one view-maintenance case")
 
 
+def test_corpus_has_adaptive_entry():
+    entries = [load_corpus_entry(path) for path in CORPUS_FILES]
+    assert any(entry.mode == "adaptive" for entry in entries), (
+        "corpus should seed at least one adaptive re-optimization case")
+
+
 @pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
 def test_corpus_case_replays_without_divergence(path):
     entry = load_corpus_entry(path)
@@ -50,6 +67,9 @@ def test_corpus_case_replays_without_divergence(path):
     elif entry.mode == "ivm":
         divergence = replay_ivm(entry.case, entry.deltas,
                                 entry.configs or None)
+    elif entry.mode == "adaptive":
+        divergence = replay_adaptive(entry.case, entry.deltas,
+                                     entry.configs or None)
     else:
         divergence = replay(entry.case, entry.configs or None)
     assert divergence is None, divergence.describe()
