@@ -1,0 +1,266 @@
+"""Out-of-core sharded execution: streaming footprint and multi-process speedup.
+
+The sharding layer's two claims (``docs/sharding.md``):
+
+* **Streaming** — a :class:`~repro.storage.sharded.ShardedCOOFormat` with
+  ``memmap_dir`` keeps its value/coordinate buffers on disk, and the
+  optimizer splits plans over it into a per-shard ``+`` chain, so a full
+  reduction over a tensor whose *dense* volume is terabytes completes within
+  a modest RAM budget.  The streaming scenario runs a complete scalar
+  reduction over a ``2^20 x 2^20`` matrix (8 TiB dense) under
+  ``tracemalloc`` and records the peak traced allocation against the budget.
+
+* **Parallelism** — the per-shard addends of a split plan are independent
+  semiring partials, so a :class:`~repro.execution.sharded.ShardExecutor`
+  pool can evaluate them in worker processes and ``v_add``-merge the
+  results.  The parallel scenario times BATAX and MTTKRP over sharded
+  storage serially (in-process streaming) and with ``shard_workers``
+  processes, checking bit-for-bit parity and recording the speedup.  The
+  >=1.5x acceptance assertion is gated on ``os.cpu_count() >= 2`` — on a
+  single-core host the pool cannot win, and the report records the fact
+  rather than failing.
+
+Run as pytest (``pytest benchmarks/bench_sharding.py``) or directly
+(``python benchmarks/bench_sharding.py [--smoke]``).  ``--smoke`` (or
+``REPRO_SMOKE=1``) shrinks the workload for CI.
+"""
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+import tracemalloc
+
+import numpy as np
+
+from _config import REPEATS, print_report
+from repro import storel
+from repro.data import random_sparse_matrix, random_sparse_tensor3
+from repro.kernels.programs import get_kernel
+from repro.session import Session
+from repro.storage import Catalog, COOFormat, DenseFormat
+from repro.storage.sharded import ShardedCOOFormat
+from repro.workloads.reporting import format_table
+
+#: RAM budget the streaming scenario must stay under (bytes).
+BUDGET_BYTES = int(os.environ.get("REPRO_SHARD_BUDGET_BYTES", str(1 << 30)))
+
+#: Worker processes for the parallel scenario (capped by availability).
+WORKERS = int(os.environ.get("REPRO_SHARD_WORKERS", "4"))
+
+#: The measured execution backend.
+BACKEND = os.environ.get("REPRO_SHARD_BACKEND", "compile")
+
+_JSON_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_sharding.json")
+
+#: Full scalar reduction over a rank-2 mapping ``{i -> {j -> v}}``.
+_REDUCE = "sum(<i, row> in A) sum(<j, v> in row) v"
+
+
+# ---------------------------------------------------------------------------
+# streaming: dense volume >> RAM budget, memmap-backed shards
+# ---------------------------------------------------------------------------
+
+
+def bench_streaming(smoke: bool) -> dict:
+    side = 1 << 20
+    nnz = 20_000 if smoke else 100_000
+    shards = 8
+    rng = np.random.default_rng(20260807)
+    coords = np.column_stack([rng.integers(0, side, nnz),
+                              rng.integers(0, side, nnz)])
+    values = rng.random(nnz)
+    # from_coo sums duplicate coordinates; mirror that in the reference so
+    # correctness is exact even if the random draw collides
+    deduped = COOFormat.from_coo("ref", coords, values, (side, side))
+    expected = deduped.values.sum()
+
+    with tempfile.TemporaryDirectory(prefix="bench_sharding_") as memmap_dir:
+        fmt = ShardedCOOFormat.from_coo("A", coords, values, (side, side),
+                                        shards=shards, memmap_dir=memmap_dir)
+        assert any(isinstance(block["val"], np.memmap)
+                   for block in fmt.shard_arrays), "shards did not spill to disk"
+        catalog = Catalog().add(fmt)
+
+        tracemalloc.start()
+        start = time.perf_counter()
+        result = storel.run(_REDUCE, catalog, backend=BACKEND)
+        wall = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    dense_bytes = side * side * 8
+    return {
+        "scenario": "streaming",
+        "side": side,
+        "nnz": nnz,
+        "shards": shards,
+        "dense_volume_bytes": dense_bytes,
+        "budget_bytes": BUDGET_BYTES,
+        "peak_bytes": peak,
+        "headroom": round(BUDGET_BYTES / max(peak, 1), 1),
+        "wall_s": round(wall, 4),
+        "within_budget": peak < BUDGET_BYTES,
+        "correct": bool(np.isclose(result, expected)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# parallel: serial in-process streaming vs the ShardExecutor pool
+# ---------------------------------------------------------------------------
+
+
+def _parallel_catalogs(kernel_name: str, smoke: bool, shards: int):
+    """Two identical catalogs (sessions must not share storage mutations)."""
+    def build() -> Catalog:
+        catalog = Catalog()
+        if kernel_name == "BATAX":
+            size = 64 if smoke else 128
+            dense = random_sparse_matrix(size, size, 0.05, seed=11, skew=0.4)
+            catalog.add(ShardedCOOFormat.from_dense("A", dense, shards=shards))
+            catalog.add(DenseFormat.from_dense(
+                "X", np.linspace(0.0, 1.0, size)))
+            catalog.add_scalar("beta", 0.5)
+            return catalog
+        dims = (24, 16, 12) if smoke else (96, 48, 32)
+        coords, values = random_sparse_tensor3(*dims, 0.05, seed=13)
+        catalog.add(ShardedCOOFormat.from_coo("A", coords, values, dims,
+                                              shards=shards))
+        rng = np.random.default_rng(17)
+        catalog.add(DenseFormat.from_dense("B", rng.random((dims[1], 8))))
+        catalog.add(DenseFormat.from_dense("C", rng.random((dims[2], 8))))
+        return catalog
+
+    return build(), build()
+
+
+def _time_statement(statement, out_shape, repeats: int):
+    """(best wall_s, result) over ``repeats`` runs after one warmup."""
+    result = statement.execute()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = statement.execute()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_parallel_pair(kernel_name: str, smoke: bool) -> dict:
+    shards = 2 * max(2, min(WORKERS, os.cpu_count() or 1))
+    kernel = get_kernel(kernel_name)
+    out_shape = (64 if smoke else 128,) if kernel_name == "BATAX" else \
+        ((24, 8) if smoke else (96, 8))
+    serial_catalog, parallel_catalog = _parallel_catalogs(
+        kernel_name, smoke, shards)
+    repeats = max(REPEATS, 2 if smoke else 3)
+
+    serial = Session(serial_catalog, backend=BACKEND)
+    parallel = Session(parallel_catalog, backend=BACKEND,
+                       shard_workers=WORKERS)
+    try:
+        serial_wall, reference = _time_statement(
+            serial.prepare(kernel.source, dense_shape=out_shape), out_shape,
+            repeats)
+        parallel_wall, result = _time_statement(
+            parallel.prepare(kernel.source, dense_shape=out_shape), out_shape,
+            repeats)
+    finally:
+        serial.close()
+        parallel.close()
+
+    return {
+        "scenario": "parallel",
+        "kernel": kernel_name,
+        "shards": shards,
+        "workers": WORKERS,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3),
+        "parity": bool(np.allclose(result, reference, rtol=1e-9, atol=1e-12)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+def run_bench(smoke: bool | None = None) -> dict:
+    if smoke is None:
+        smoke = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+    cpu_count = os.cpu_count() or 1
+    streaming = bench_streaming(smoke)
+    parallel = [bench_parallel_pair(name, smoke)
+                for name in ("BATAX", "MTTKRP")]
+
+    display = [
+        {"scenario": "streaming",
+         "dense_GiB": round(streaming["dense_volume_bytes"] / (1 << 30), 1),
+         "peak_MiB": round(streaming["peak_bytes"] / (1 << 20), 1),
+         "budget_MiB": round(streaming["budget_bytes"] / (1 << 20), 1),
+         "serial_s": streaming["wall_s"], "parallel_s": "", "speedup": "",
+         "ok": streaming["within_budget"] and streaming["correct"]},
+    ] + [
+        {"scenario": f"parallel/{row['kernel']}",
+         "dense_GiB": "", "peak_MiB": "", "budget_MiB": "",
+         "serial_s": row["serial_wall_s"], "parallel_s": row["parallel_wall_s"],
+         "speedup": row["speedup"], "ok": row["parity"]}
+        for row in parallel
+    ]
+    table = format_table(display,
+                         title=f"Sharded execution — streaming + {WORKERS} workers "
+                               f"(backend {BACKEND}, {cpu_count} CPUs"
+                               f"{', smoke' if smoke else ''})")
+    print_report(table)
+    return {
+        "benchmark": "sharding",
+        "backend": BACKEND,
+        "cpu_count": cpu_count,
+        "workers": WORKERS,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "streaming": streaming,
+        "parallel": parallel,
+        "best_speedup": max(row["speedup"] for row in parallel),
+    }
+
+
+def test_sharding_bench(benchmark):
+    """Both scenarios, correctness-checked; writes BENCH_sharding.json."""
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+    streaming = report["streaming"]
+    assert streaming["correct"]
+    assert streaming["dense_volume_bytes"] > streaming["budget_bytes"]
+    assert streaming["within_budget"], \
+        f"streaming peak {streaming['peak_bytes']} exceeded the RAM budget"
+    assert all(row["parity"] for row in report["parallel"])
+    # the speedup claim only holds where parallel hardware exists
+    if report["cpu_count"] >= 2 and not report["smoke"]:
+        assert report["best_speedup"] >= 1.5, \
+            f"expected >=1.5x from {report['workers']} workers, " \
+            f"best was {report['best_speedup']}x"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrunk workload for CI smoke runs")
+    args = parser.parse_args()
+    report = run_bench(smoke=True if args.smoke else None)
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {_JSON_PATH} (streaming peak "
+          f"{report['streaming']['peak_bytes'] >> 20} MiB, "
+          f"best speedup {report['best_speedup']}x on "
+          f"{report['cpu_count']} CPUs)")
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

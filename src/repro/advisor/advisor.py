@@ -211,17 +211,30 @@ class Advisor:
     optimizer_options:
         Extra keyword arguments for every :class:`~repro.core.optimizer.Optimizer`
         built while scoring (e.g. ``iter_limit``).
+    shard_counts:
+        Shard counts to offer as sharded-format candidates
+        (``sharded_coo@k`` / ``sharded_csr@k``, see ``docs/sharding.md``).
+        Empty (the default) keeps sharded specs out of the menu entirely;
+        counts are only offered for tensors large enough to matter
+        (``nnz >= _SHARD_ADVISE_MIN_NNZ``), so small-catalog searches are
+        unperturbed.
     """
+
+    #: Below this many stored entries a tensor never gets sharded candidates:
+    #: per-shard overheads dominate and the search space doubles for nothing.
+    _SHARD_ADVISE_MIN_NNZ = 1 << 15
 
     def __init__(self, session, *, method: str = "greedy", backend: str = "vectorize",
                  beam_width: int = 4, per_tensor_top: int = 3,
-                 optimizer_options: Mapping[str, Any] | None = None):
+                 optimizer_options: Mapping[str, Any] | None = None,
+                 shard_counts: Sequence[int] = ()):
         self.session = session
         self.method = method
         self.backend = backend
         self.beam_width = max(1, int(beam_width))
         self.per_tensor_top = max(1, int(per_tensor_top))
         self.optimizer_options = dict(optimizer_options or {})
+        self.shard_counts = tuple(int(count) for count in shard_counts)
         self._converted: dict[tuple[str, str], StorageFormat] = {}
         self._converted_version = -1
         self._config_costs: dict[frozenset, tuple[float, dict[str, float]]] = {}
@@ -231,7 +244,7 @@ class Advisor:
     def _format_for(self, name: str, kind: str) -> StorageFormat:
         """The tensor ``name`` re-stored as ``kind`` (converted once, cached)."""
         current = self.session.catalog.tensors[name]
-        if current.format_name == kind:
+        if kind in (current.format_name, current.spec_name):
             return current
         key = (name, kind)
         fmt = self._converted.get(key)
@@ -245,8 +258,11 @@ class Advisor:
         menu = {}
         for name in tensors:
             fmt = catalog.tensors[name]
+            stats = TensorStats.of(fmt)
+            counts = (self.shard_counts
+                      if stats.nnz >= self._SHARD_ADVISE_MIN_NNZ else ())
             menu[name] = candidate_formats(fmt, include_special=include_special,
-                                           stats=TensorStats.of(fmt))
+                                           stats=stats, shard_counts=counts)
         return menu
 
     # -- configuration scoring -------------------------------------------------
@@ -263,7 +279,7 @@ class Advisor:
         mappings = dict(catalog.mappings())
         for name, kind in assignment.items():
             current = catalog.tensors[name]
-            if current.format_name == kind:
+            if kind in (current.format_name, current.spec_name):
                 continue
             candidate = self._format_for(name, kind)
             swaps.append((current, candidate))

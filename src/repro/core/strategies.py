@@ -437,6 +437,94 @@ def lookup_of_range_sum(term: Expr) -> Expr | None:
     return IfThen(guard, value)
 
 
+def _flatten_add(term: Expr) -> list[Expr]:
+    """The addends of a (left- or right-nested) ``+`` chain."""
+    if isinstance(term, Add):
+        return _flatten_add(term.left) + _flatten_add(term.right)
+    return [term]
+
+
+def _shard_prefixes(term: Expr) -> set[tuple[str, int]]:
+    """All ``(tensor, shard index)`` pairs of shard-local symbols in ``term``.
+
+    Shard-local physical symbols are named ``{tensor}__s{i}_{suffix}`` by the
+    sharded storage formats (:data:`repro.storage.sharded.SHARD_SYMBOL_RE`).
+    """
+    from ..storage.sharded import SHARD_SYMBOL_RE
+
+    prefixes: set[tuple[str, int]] = set()
+    for node in postorder(term):
+        if isinstance(node, Sym):
+            match = SHARD_SYMBOL_RE.match(node.name)
+            if match:
+                prefixes.add((match.group(1), int(match.group(2))))
+    return prefixes
+
+
+def split_sharded_sum(term: Expr) -> Expr | None:
+    """``sum`` over a ``+`` chain of per-shard mappings → ``+`` of per-shard sums.
+
+    ``sum(<k,v> in (m0 + m1 + ...)) body`` becomes
+    ``sum(<k,v> in m0) body + sum(<k,v> in m1) body + ...`` — the
+    sum-over-shards decomposition the semiring guarantees, and the rewrite
+    that makes sharded execution *stream*: each addend materializes (or, after
+    fusion, never materializes) one shard at a time instead of ``v_add``-ing
+    the whole tensor into memory first.
+
+    Splitting a sum over a general ``+`` is **unsound** when addends share
+    keys (``body`` need not be linear in the bound value), so the rewrite
+    only fires when every addend is a shard term of one and the same tensor:
+    each non-zero addend references shard symbols of exactly one
+    ``(tensor, index)`` prefix, all addends agree on the tensor, and all
+    shard indices are pairwise distinct — row-range shards of one tensor
+    cover disjoint key ranges by construction.
+    """
+    if not isinstance(term, Sum) or not isinstance(term.source, Add):
+        return None
+    parts: list[Expr] = []
+    bases: set[str] = set()
+    seen_indices: set[int] = set()
+    for addend in _flatten_add(term.source):
+        if addend == Const(0):
+            continue
+        prefixes = _shard_prefixes(addend)
+        if len(prefixes) != 1:
+            return None
+        (base, index), = prefixes
+        bases.add(base)
+        if index in seen_indices:
+            return None
+        seen_indices.add(index)
+        parts.append(addend)
+    if len(parts) < 2 or len(bases) != 1:
+        return None
+    result: Expr = Sum(parts[0], term.body,
+                       key_name=term.key_name, val_name=term.val_name)
+    for part in parts[1:]:
+        result = Add(result, Sum(part, term.body,
+                                 key_name=term.key_name, val_name=term.val_name))
+    return result
+
+
+def lookup_over_add(term: Expr) -> Expr | None:
+    """``(a + b)(k)`` → ``a(k) + b(k)`` on sharded mappings.
+
+    Lookup distributes over semiring addition unconditionally
+    (``lookup(v_add(a, b), k) == v_add(lookup(a, k), lookup(b, k))``), but
+    the rewrite is gated on the target containing shard symbols so plans for
+    non-sharded catalogs stay byte-identical.  On sharded tensors it keeps a
+    point access like ``A(i)`` from ``v_add``-materializing the whole
+    tensor; each per-shard lookup then simplifies further through
+    :func:`lookup_of_range_sum`.
+    """
+    if not isinstance(term, Get) or not isinstance(term.target, Add):
+        return None
+    if not _shard_prefixes(term.target):
+        return None
+    return Add(Get(term.target.left, term.key),
+               Get(term.target.right, term.key))
+
+
 def hoist_let_from_source(term: Expr) -> Expr | None:
     """``sum(<k,v> in (let x = e1 in e2)) e3`` → ``let x = e1 in sum(<k,v> in e2) e3``."""
     if not isinstance(term, Sum) or not isinstance(term.source, Let):
@@ -642,6 +730,8 @@ def greedy_optimize(term: Expr, *, with_fusion: bool = True,
 #: exclusive to the optimized variants.
 NORMALIZATION_TRANSFORMS: tuple[Transform, ...] = (
     lookup_of_range_sum,
+    split_sharded_sum,
+    lookup_over_add,
     simplify_node,
 )
 

@@ -6,6 +6,7 @@ from .synthetic import (
     density_sweep,
     random_dense_vector,
     random_sparse_matrix,
+    random_sparse_matrix_coo,
     random_sparse_tensor3,
     random_sparse_vector,
 )
@@ -14,5 +15,5 @@ __all__ = [
     "TENSORS", "load_tensor", "tensor_names",
     "MATRICES", "load_matrix", "matrix_names",
     "density_sweep", "random_dense_vector", "random_sparse_matrix",
-    "random_sparse_tensor3", "random_sparse_vector",
+    "random_sparse_matrix_coo", "random_sparse_tensor3", "random_sparse_vector",
 ]

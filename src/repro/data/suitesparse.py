@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .synthetic import random_sparse_matrix
+from .synthetic import random_sparse_matrix, random_sparse_matrix_coo
 
 #: Default linear scale factor: each dimension is divided by this amount.
 DEFAULT_SCALE = 64
@@ -51,14 +51,20 @@ def matrix_names() -> list[str]:
 
 
 def load_matrix(name: str, scale: int = DEFAULT_SCALE, *, min_dim: int = 64,
-                max_dim: int = 1024) -> np.ndarray:
-    """Generate the scaled stand-in for SuiteSparse matrix ``name`` (dense array).
+                max_dim: int = 1024, sparse: bool = False):
+    """Generate the scaled stand-in for SuiteSparse matrix ``name``.
 
     The dimensions are divided by ``scale`` (but clamped to
     ``[min_dim, max_dim]``); the density is preserved.  Density preservation,
     rather than nnz preservation, is what keeps the sparse-vs-dense trade-offs
     of the paper's experiments intact at the smaller scale.  ``max_dim`` keeps
     the very large webbase stand-in materializable on a laptop.
+
+    ``sparse=True`` returns ``(coords, values, shape)`` instead of a dense
+    array, generated at O(nnz) memory and describing exactly the same
+    non-zeros (see :func:`~repro.data.synthetic.random_sparse_matrix_coo`) —
+    the loading path for out-of-core experiments (``scale=1`` webbase is a
+    10^12-cell matrix; its triple is a few million entries).
     """
     spec = MATRICES[name]
     rows = min(max_dim, max(min_dim, spec.rows // scale))
@@ -66,6 +72,10 @@ def load_matrix(name: str, scale: int = DEFAULT_SCALE, *, min_dim: int = 64,
     # webbase is extremely sparse: at small scale, keep at least ~2 nnz per row
     # so the kernel outputs are non-trivial.
     density = max(spec.density, 2.0 / cols)
+    if sparse:
+        coords, values = random_sparse_matrix_coo(rows, cols, density,
+                                                  seed=spec.seed, skew=0.6)
+        return coords, values, (rows, cols)
     return random_sparse_matrix(rows, cols, density, seed=spec.seed, skew=0.6)
 
 

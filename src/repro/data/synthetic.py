@@ -59,6 +59,43 @@ def random_sparse_matrix(rows: int, cols: int, density: float, *,
     return matrix
 
 
+def random_sparse_matrix_coo(rows: int, cols: int, density: float, *,
+                             seed: int = 0,
+                             rng: np.random.Generator | None = None,
+                             skew: float = 0.0,
+                             value_low: float = 0.1, value_high: float = 1.0
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(coords, values)`` of :func:`random_sparse_matrix`, never densified.
+
+    Draws the identical RNG sequence as the dense generator and resolves
+    duplicate coordinates the same way its fancy assignment does (last write
+    wins), so ``coords``/``values`` describe exactly the non-zeros of
+    ``random_sparse_matrix(...)`` with the same parameters — at O(nnz)
+    memory instead of O(rows * cols).  This is what lets the Table-2
+    stand-ins scale to shapes whose dense volume would not fit in RAM
+    (``load_matrix(..., sparse=True)``).
+    """
+    rng = _resolve_rng(rng, seed)
+    nnz = int(round(density * rows * cols))
+    if nnz == 0:
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64)
+    if skew > 0:
+        weights = (1.0 / np.arange(1, rows + 1) ** skew)
+        weights /= weights.sum()
+        row_indices = rng.choice(rows, size=nnz, p=weights)
+    else:
+        row_indices = rng.integers(0, rows, size=nnz)
+    col_indices = rng.integers(0, cols, size=nnz)
+    values = rng.uniform(value_low, value_high, size=nnz)
+    coords = np.column_stack([row_indices, col_indices]).astype(np.int64)
+    # Keep the *last* occurrence of every duplicate coordinate: np.unique on
+    # the reversed array reports first occurrences there, which are last
+    # occurrences in draw order.
+    _, reversed_first = np.unique(coords[::-1], axis=0, return_index=True)
+    keep = np.sort(coords.shape[0] - 1 - reversed_first)
+    return coords[keep], values[keep]
+
+
 def random_structured_matrix(n: int, density: float, *, structure: str = "general",
                              seed: int = 0,
                              rng: np.random.Generator | None = None) -> np.ndarray:

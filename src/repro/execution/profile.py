@@ -86,6 +86,12 @@ def observed_card(value: Any, sample: int = 4) -> Card:
         for level_keys in levels.keys:
             size = float(level_keys.shape[0])
             counts.append(size / parent if parent else 0.0)
+            if size == 0:
+                # An empty level has no children: truncate here rather than
+                # emit a spurious 0.0 for every deeper level, which would
+                # poison the feedback overlay with zero-cardinality
+                # observations for loops that never ran.
+                break
             parent = size
         return Card.of(*counts) if counts else Card.scalar()
     try:

@@ -48,6 +48,7 @@ from ..execution.engine import (
     result_to_dense,
 )
 from ..execution.profile import ExecutionProfile
+from ..execution.sharded import ShardExecutor, split_plan
 from ..sdqlite.ast import Expr
 from ..sdqlite.debruijn import to_debruijn_safe
 from ..sdqlite.errors import StorageError
@@ -106,6 +107,13 @@ class ServerConfig:
         Minimum q-error (symmetric estimated/actual factor) before an
         observation is adopted; adopting one bumps the adaptive epoch, so
         affected queries transparently re-prepare through the shared cache.
+    ``shard_workers``
+        When ``>= 2``, requests whose shared plan is a per-shard ``+`` chain
+        (sharded storage, ``docs/sharding.md``) execute the shard parts on a
+        pool of that many worker processes; the pool is keyed on the
+        snapshot's epochs, so every catalog mutation retires it and requests
+        behave identically under snapshot isolation.  ``0`` (the default)
+        never spawns processes; failures fall back to in-process streaming.
     """
 
     max_concurrency: int = 8
@@ -117,6 +125,7 @@ class ServerConfig:
     latency_window: int = 8192
     profile_every: int = 0
     reoptimize_threshold: float = 2.0
+    shard_workers: int = 0
 
 
 class AdmissionGate:
@@ -215,6 +224,7 @@ class Server:
             sample_every=self.config.profile_every,
             threshold=self.config.reoptimize_threshold))
             if self.config.profile_every > 0 else None)
+        self._shard_executor = ShardExecutor(self.config.shard_workers)
         self._envs: OrderedDict[int, dict[str, Any]] = OrderedDict()
         self._statistics: OrderedDict[int, Statistics] = OrderedDict()
         self._prepared_epochs: dict[tuple, tuple[int, int]] = {}
@@ -234,6 +244,7 @@ class Server:
     def close(self) -> None:
         """Stop admitting requests and drop cached plans/environments/views."""
         self._closed = True
+        self._shard_executor.close()
         self.plans.clear()
         self.lowered.clear()
         with self._views_lock:
@@ -477,6 +488,27 @@ class Server:
                     self.stats.count("re_optimizations")
         return entry
 
+    def _execute(self, entry: SharedPlan, env: Mapping[str, Any],
+                 snapshot: CatalogSnapshot, backend: str,
+                 scalar_params: Mapping[str, float]) -> Any:
+        """Run a shared plan: parallel shard dispatch when configured, else in-process.
+
+        The worker pool is keyed on the snapshot's epochs, so it always
+        serves exactly the state the plan was prepared against; scalar
+        parameters travel per-call instead of riding in the shipped
+        environment.  Any pool failure falls back to the in-process path,
+        which produces the identical result (shard key ranges are disjoint).
+        """
+        if self._shard_executor.available():
+            parts = split_plan(entry.prepared.plan)
+            if len(parts) >= 2:
+                try:
+                    return self._shard_executor.run_parts(
+                        parts, snapshot, backend, scalar_params)
+                except Exception:
+                    pass
+        return entry.run(env)
+
     def _serve(self, query: Expr, program: Expr, *, method: str, backend: str,
                optimizer_options: dict, dense_shape: tuple[int, ...] | None,
                scalar_params: Mapping[str, float]) -> Any:
@@ -531,7 +563,8 @@ class Server:
                     self.stats.count("misestimations",
                                      counters["feedback_misestimations"])
             else:
-                result = entry.run(env)
+                result = self._execute(entry, env, snapshot, backend,
+                                       scalar_params)
             if dense_shape is not None:
                 result = result_to_dense(result, dense_shape)
             return result

@@ -57,6 +57,7 @@ from .execution.engine import (
     result_to_dense,
 )
 from .execution.profile import ExecutionProfile
+from .execution.sharded import ShardExecutor, split_plan
 from .sdqlite.ast import Expr, Sym, children
 from .sdqlite.errors import StorageError
 from .sdqlite.parser import parse_expr
@@ -156,17 +157,29 @@ class Session:
         q-error threshold transparently re-prepare.  ``None`` (the default)
         disables the loop entirely; :meth:`enable_feedback` turns it on
         after construction.
+    shard_workers:
+        When ``>= 2``, statements whose optimized plan is a per-shard ``+``
+        chain (sharded storage, see ``docs/sharding.md``) execute their
+        shard parts on a pool of that many worker processes and
+        ``v_add``-merge the partials; anything else — including every
+        failure of the pool — runs the plan in-process, where the same
+        chain streams one shard at a time.  ``0`` (the default) never
+        spawns processes.  Feedback-enabled sessions always execute
+        in-process so sampled profiles keep observing whole plans.
     """
 
     def __init__(self, catalog: Catalog | None = None, *, method: str = "greedy",
                  backend: str = "compile", cache: PlanCache | None = None,
                  optimizer_options: Mapping[str, Any] | None = None,
-                 feedback: FeedbackConfig | None = None):
+                 feedback: FeedbackConfig | None = None,
+                 shard_workers: int = 0):
         self.catalog = catalog if catalog is not None else Catalog()
         self.method = method
         self.backend = backend
         self.cache = cache if cache is not None else GLOBAL_PLAN_CACHE
         self.optimizer_options = dict(optimizer_options or {})
+        self.shard_workers = shard_workers
+        self._shard_executor = ShardExecutor(shard_workers)
         self._stats: Statistics | None = None
         self._stats_version = -1
         self._env: dict[str, Any] | None = None
@@ -204,6 +217,7 @@ class Session:
             self._env = None
             self._engines.clear()
             self._opt_memo.clear()
+            self._shard_executor.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Session(tensors={sorted(self.catalog.tensors)}, "
@@ -366,7 +380,10 @@ class Session:
             if current is None:
                 raise StorageError(
                     f"recommendation names {name!r}, which is not a registered tensor")
-            if current.format_name != kind:
+            # spec_name carries the shard count (e.g. "sharded_csr@4"), so a
+            # tensor already stored exactly as recommended is a no-op even
+            # when the recommendation names a sharded spec.
+            if kind not in (current.format_name, current.spec_name):
                 self.replace_format(reformat(current, kind))
         return self
 
@@ -385,7 +402,7 @@ class Session:
         from .advisor import Advisor
 
         constructor_keys = ("method", "backend", "beam_width", "per_tensor_top",
-                            "optimizer_options")
+                            "optimizer_options", "shard_counts")
         constructor = {key: kwargs.pop(key) for key in constructor_keys if key in kwargs}
         constructor.setdefault("method", self.method)
         # The advisor must cost plans under the same optimizer configuration
@@ -666,9 +683,26 @@ class Statement:
         prepared, env = self._bound
         if scalar_params:
             self._check_params(scalar_params)
+        store = self._session._feedback
+        if store is None and stats is None and self._session._shard_executor.available():
+            # Parallel shard dispatch: a per-shard + chain executes its
+            # addends on the session's worker pool and merges the partials.
+            # Strictly a performance path — any failure falls through to the
+            # in-process execution below, which streams the same chain one
+            # shard at a time.  Skipped when backend counters (stats) or the
+            # feedback loop want to observe the whole in-process run.
+            parts = split_plan(prepared.plan)
+            if len(parts) >= 2:
+                try:
+                    result = self._session._shard_executor.run_parts(
+                        parts, self._session.catalog, self.backend,
+                        scalar_params)
+                    return self._finish(result)
+                except Exception:
+                    pass
+        if scalar_params:
             env = dict(env)
             env.update(scalar_params)
-        store = self._session._feedback
         if store is not None and store.should_sample():
             # Sampled execution: collect per-loop iteration counts plus the
             # output cardinality and feed them back into the statistics.

@@ -5,6 +5,7 @@ from .convert import (
     ALL_FORMATS,
     candidate_formats,
     coo_arrays,
+    parse_format_spec,
     reformat,
     reformat_in_catalog,
 )
@@ -34,6 +35,13 @@ from .physical import (
     PhysicalTrie,
     collection_kind,
 )
+from .sharded import (
+    SHARDED_FORMATS,
+    MemmapDenseFormat,
+    ShardedCOOFormat,
+    ShardedCSRFormat,
+    ShardedFormat,
+)
 from .special import (
     SPECIAL_FORMATS,
     BandFormat,
@@ -47,7 +55,10 @@ __all__ = [
     "COOFormat", "CSCFormat", "CSFFormat", "CSRFormat", "DCSRFormat", "DenseFormat",
     "DOKFormat", "FORMATS", "StorageFormat", "TensorStats", "TrieFormat", "build_format",
     "sum_duplicates", "ALL_FORMATS", "SPECIAL_FORMATS",
-    "candidate_formats", "coo_arrays", "reformat", "reformat_in_catalog",
+    "candidate_formats", "coo_arrays", "parse_format_spec", "reformat",
+    "reformat_in_catalog",
+    "SHARDED_FORMATS", "MemmapDenseFormat", "ShardedCOOFormat", "ShardedCSRFormat",
+    "ShardedFormat",
     "KIND_ARRAY", "KIND_HASH", "KIND_SCALAR", "KIND_TRIE",
     "PhysicalArray", "PhysicalHashMap", "PhysicalScalar", "PhysicalTrie", "collection_kind",
     "BandFormat", "LowerTriangularFormat", "ZOrderFormat", "morton_index",

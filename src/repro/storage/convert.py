@@ -42,17 +42,43 @@ from .formats import (
     COOFormat,
     CSCFormat,
     CSRFormat,
+    DCSRFormat,
     DenseFormat,
     FORMATS,
     StorageFormat,
     TensorStats,
-    build_format,
+    sum_duplicates,
 )
+from .sharded import SHARDED_FORMATS, ShardedFormat
 from .special import SPECIAL_FORMATS
 
 #: Every named storage format: the general-purpose menu of ``formats.py``
-#: plus the Sec. 4 special formats.  This is the advisor's search alphabet.
-ALL_FORMATS: dict[str, type[StorageFormat]] = {**FORMATS, **SPECIAL_FORMATS}
+#: plus the Sec. 4 special formats and the out-of-core sharded family.
+#: This is the advisor's search alphabet.
+ALL_FORMATS: dict[str, type[StorageFormat]] = {
+    **FORMATS, **SPECIAL_FORMATS, **SHARDED_FORMATS}
+
+
+def parse_format_spec(kind: str) -> tuple[str, int | None]:
+    """Split a format specification into ``(base_name, shard_count)``.
+
+    Format names may carry a shard-count parameter after ``@``
+    (``"sharded_csr@4"`` = sharded CSR with four row-range shards); plain
+    names return ``(kind, None)``.  This is the advisor's shard-size knob:
+    parameterized names flow through :func:`reformat`,
+    :func:`candidate_formats` and the session's ``apply_recommendation``
+    exactly like plain ones.
+    """
+    base, sep, param = kind.partition("@")
+    if not sep:
+        return kind, None
+    try:
+        shards = int(param)
+    except ValueError:
+        raise StorageError(f"malformed format specification {kind!r}") from None
+    if shards < 1:
+        raise StorageError(f"shard count must be >= 1 in {kind!r}")
+    return base, shards
 
 
 def _require_scipy() -> None:
@@ -78,21 +104,46 @@ def from_scipy(kind: str, name: str, matrix) -> StorageFormat:
 
 
 def to_scipy_csr(fmt: StorageFormat):
-    """Convert a rank-2 format to a SciPy CSR matrix (zero-copy when already CSR)."""
+    """Convert a rank-2 format to a SciPy CSR matrix (zero-copy when already CSR).
+
+    CSR hands its ``(val, idx, pos)`` triple over directly; DCSR expands its
+    compressed row directory into a full positions array (O(rows + nnz), no
+    value copy); everything else goes through coordinate form — never through
+    a dense intermediate.
+    """
     _require_scipy()
     if len(fmt.shape) != 2:
         raise StorageError("to_scipy_csr requires a rank-2 tensor")
     if isinstance(fmt, CSRFormat) and not isinstance(fmt, CSCFormat):
         return sp.csr_matrix((fmt.val, fmt.idx, fmt.pos), shape=fmt.shape)
-    return sp.csr_matrix(fmt.to_dense())
+    if isinstance(fmt, DCSRFormat):
+        pos = np.zeros(fmt.shape[0] + 1, dtype=np.int64)
+        if fmt.idx1.size:
+            pos[fmt.idx1 + 1] = np.diff(fmt.pos2)
+        return sp.csr_matrix((fmt.val, fmt.idx2, np.cumsum(pos)), shape=fmt.shape)
+    return _scipy_from_coo(sp.csr_matrix, fmt)
 
 
 def to_scipy_csc(fmt: StorageFormat):
-    """Convert a rank-2 format to a SciPy CSC matrix."""
+    """Convert a rank-2 format to a SciPy CSC matrix (zero-copy when already CSC).
+
+    CSC's segmented arrays *are* SciPy's ``(data, indices, indptr)``; other
+    formats build the matrix from their coordinate read-out in O(nnz).
+    """
     _require_scipy()
     if len(fmt.shape) != 2:
         raise StorageError("to_scipy_csc requires a rank-2 tensor")
-    return sp.csc_matrix(fmt.to_dense()) if fmt.nnz else sp.csc_matrix(fmt.shape)
+    if isinstance(fmt, CSCFormat):
+        return sp.csc_matrix((fmt.val, fmt.idx, fmt.pos), shape=fmt.shape)
+    return _scipy_from_coo(sp.csc_matrix, fmt)
+
+
+def _scipy_from_coo(matrix_cls, fmt: StorageFormat):
+    """Build a SciPy matrix from a format's coordinate read-out (O(nnz))."""
+    coords, values = coo_arrays(fmt)
+    if not len(values):
+        return matrix_cls(fmt.shape)
+    return matrix_cls((values, (coords[:, 0], coords[:, 1])), shape=fmt.shape)
 
 
 def to_dense_vector(fmt: StorageFormat) -> np.ndarray:
@@ -103,19 +154,20 @@ def to_dense_vector(fmt: StorageFormat) -> np.ndarray:
 
 
 def coo_arrays(fmt: StorageFormat) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(coords, values)`` for any format (via a COO round-trip).
+    """Return ``(coords, values)`` for any format (canonical coordinate form).
 
     The canonical interchange representation: every re-format and baseline
     conversion goes through here, so a tensor's contents survive any chain of
     format changes bit-for-bit (coordinates come out sorted row-major,
-    explicit zeros dropped).
+    explicit zeros dropped).  The read-out is the format's own
+    :meth:`~repro.storage.formats.StorageFormat.to_coo` — O(nnz) for every
+    sparse format, never a dense intermediate — normalized here with
+    :func:`~repro.storage.formats.sum_duplicates`.
     """
     if isinstance(fmt, COOFormat):
         return fmt.coords.copy(), fmt.values.copy()
-    dense = fmt.to_dense()
-    coords = np.argwhere(dense != 0)
-    values = dense[tuple(coords.T)] if coords.size else np.empty(0)
-    return coords.astype(np.int64), np.asarray(values, dtype=np.float64)
+    coords, values = fmt.to_coo()
+    return sum_duplicates(coords, values, len(fmt.shape))
 
 
 def as_relation(fmt: StorageFormat) -> np.ndarray:
@@ -163,7 +215,7 @@ def apply_delta(fmt: StorageFormat, coords, values) -> StorageFormat:
             f"delta coordinates out of range for shape {tuple(fmt.shape)}")
     if not len(coords):
         return fmt
-    if isinstance(fmt, DenseFormat):
+    if type(fmt) is DenseFormat:
         dense = fmt.array.copy()
         np.add.at(dense, tuple(coords.T), values)
         return DenseFormat(fmt.name, dense)
@@ -172,7 +224,8 @@ def apply_delta(fmt: StorageFormat, coords, values) -> StorageFormat:
                   if base_coords.size else coords)
     all_values = (np.concatenate([base_values, values])
                   if base_values.size else values)
-    return type(fmt).from_coo(fmt.name, all_coords, all_values, fmt.shape)
+    return type(fmt).from_coo(fmt.name, all_coords, all_values, fmt.shape,
+                              **fmt.from_coo_kwargs())
 
 
 def reformat(fmt: StorageFormat, kind: str) -> StorageFormat:
@@ -185,20 +238,28 @@ def reformat(fmt: StorageFormat, kind: str) -> StorageFormat:
     Returns ``fmt`` itself when it already has that format, so callers can
     use ``reformat(fmt, kind) is fmt`` as a no-op check.
 
+    Sharded formats accept a shard-count parameter after ``@``
+    (``"sharded_csr@4"``, see :func:`parse_format_spec`); the plain name
+    picks the format's default shard count.
+
     >>> import numpy as np
     >>> from repro.storage import TrieFormat
     >>> trie = TrieFormat.from_dense("A", np.tril(np.ones((4, 4))))
     >>> reformat(trie, "lower_triangular").format_name
     'lower_triangular'
     """
+    base, shards = parse_format_spec(kind)
     try:
-        cls = ALL_FORMATS[kind]
+        cls = ALL_FORMATS[base]
     except KeyError as exc:
         raise StorageError(f"unknown storage format {kind!r}") from exc
-    if fmt.format_name == kind:
+    if fmt.spec_name == kind or (shards is None and fmt.format_name == kind):
         return fmt
+    if shards is not None and not issubclass(cls, ShardedFormat):
+        raise StorageError(f"format {base!r} does not take a shard count ({kind!r})")
     coords, values = coo_arrays(fmt)
-    return cls.from_coo(fmt.name, coords, values, fmt.shape)
+    kwargs = {} if shards is None else {"shards": shards}
+    return cls.from_coo(fmt.name, coords, values, fmt.shape, **kwargs)
 
 
 def reformat_in_catalog(catalog, name: str, kind: str) -> StorageFormat:
@@ -222,20 +283,31 @@ def reformat_in_catalog(catalog, name: str, kind: str) -> StorageFormat:
 
 
 def candidate_formats(fmt: StorageFormat, *, include_special: bool = True,
-                      stats: TensorStats | None = None) -> list[str]:
+                      stats: TensorStats | None = None,
+                      shard_counts: tuple[int, ...] = ()) -> list[str]:
     """Names of every format that can legally store ``fmt``'s tensor.
 
     Asks each registered format class :meth:`StorageFormat.candidates_for`
     with a :class:`TensorStats` summary of the tensor (computed once here
     unless passed in).  The tensor's *current* format is always included.
     ``include_special=False`` restricts the answer to the general-purpose
-    menu of ``formats.py``.
+    menu of ``formats.py``.  ``shard_counts`` additionally offers
+    parameterized variants (``"sharded_coo@4"``) of every legal sharded
+    format for each requested count that fits the outer dimension — the
+    advisor's shard-size search dimension.
     """
     stats = stats if stats is not None else TensorStats.of(fmt)
     registry = ALL_FORMATS if include_special else FORMATS
     names = [name for name, cls in registry.items() if cls.candidates_for(stats)]
     if fmt.format_name not in names and fmt.format_name in registry:
         names.append(fmt.format_name)
+    if shard_counts:
+        names.extend(
+            f"{name}@{count}"
+            for name, cls in SHARDED_FORMATS.items()
+            if issubclass(cls, ShardedFormat) and cls.candidates_for(stats)
+            for count in shard_counts
+            if 1 <= count <= max(1, stats.shape[0]))
     return names
 
 
@@ -245,4 +317,6 @@ def restore(fmt: StorageFormat, kind: str) -> StorageFormat:
     Historical alias of :func:`reformat` restricted to the general-purpose
     formats; prefer :func:`reformat`, which also accepts the special formats.
     """
-    return build_format(kind, fmt.name, fmt.to_dense())
+    if kind not in FORMATS:
+        raise StorageError(f"unknown storage format {kind!r}")
+    return reformat(fmt, kind)

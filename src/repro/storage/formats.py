@@ -171,6 +171,19 @@ class StorageFormat(ABC):
         self.name = name
         self.shape = tuple(int(s) for s in shape)
 
+    @property
+    def spec_name(self) -> str:
+        """The full format specification, including construction parameters.
+
+        For most formats this is just :attr:`format_name`; parameterized
+        formats (the sharded family) append their knob, e.g.
+        ``"sharded_csr@4"``.  ``reformat(fmt, fmt.spec_name)`` is always a
+        no-op, which is how the advisor and
+        :meth:`repro.session.Session.apply_recommendation` detect that a
+        recommendation is already in place.
+        """
+        return self.format_name
+
     # -- constructors --------------------------------------------------------
 
     @classmethod
@@ -200,6 +213,17 @@ class StorageFormat(ABC):
         structural predicates of :class:`TensorStats`).
         """
         return False
+
+    def from_coo_kwargs(self) -> dict[str, Any]:
+        """Constructor kwargs that reproduce this instance's parameterization.
+
+        ``type(fmt).from_coo(name, coords, values, shape,
+        **fmt.from_coo_kwargs())`` must yield a format with the same physical
+        symbol layout and mapping text — the contract behind value-only
+        rebuilds (:func:`repro.storage.convert.apply_delta`).  Parameterized
+        formats (the sharded family) override this to pin their knobs.
+        """
+        return {}
 
     # -- required protocol ---------------------------------------------------
 
@@ -243,6 +267,21 @@ class StorageFormat(ABC):
     def segment_profiles(self) -> dict[str, float]:
         """Average segment length of segmented arrays (``A_idx2`` etc.), if any."""
         return {}
+
+    # -- coordinate export ----------------------------------------------------
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(coords, values)`` of the stored entries, in O(nnz) time and space.
+
+        Coordinates need not be sorted or deduplicated — callers that need
+        the canonical form go through :func:`repro.storage.convert.coo_arrays`,
+        which normalizes with :func:`sum_duplicates`.  Every sparse format
+        overrides this with a direct read-out of its physical arrays; the
+        base implementation densifies and is only appropriate for formats
+        whose physical layout *is* dense (``DenseFormat`` and the Sec. 4
+        special formats), where O(volume) equals the storage size.
+        """
+        return coo_from_dense(self.to_dense())
 
     # -- typed-buffer export --------------------------------------------------
 
@@ -445,6 +484,9 @@ class COOFormat(StorageFormat):
             dense[tuple(int(c) for c in coordinate)] += value
         return dense
 
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.coords.copy(), self.values.copy()
+
     def profile(self) -> Profile:
         # All nnz entries are reached through a single flat iteration.
         branching = _branching_from_coords(self.coords)
@@ -528,6 +570,12 @@ class CSRFormat(StorageFormat):
                 coordinate[self._inner_axis] = int(self.idx[offset])
                 dense[tuple(coordinate)] += self.val[offset]
         return dense
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        coords = np.empty((self.idx.shape[0], 2), dtype=np.int64)
+        coords[:, self._outer_axis] = self._outer_sorted
+        coords[:, self._inner_axis] = self.idx
+        return coords, self.val.copy()
 
     def to_buffers(self) -> dict[str, np.ndarray]:
         return {"pos": self.pos, "idx": self.idx, "val": self.val}
@@ -633,6 +681,12 @@ class DCSRFormat(StorageFormat):
             for offset in range(self.pos2[position], self.pos2[position + 1]):
                 dense[int(row), int(self.idx2[offset])] += self.val[offset]
         return dense
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        rows = np.repeat(self.idx1, np.diff(self.pos2))
+        coords = np.column_stack([rows, self.idx2]) if self.idx2.size else \
+            np.empty((0, 2), dtype=np.int64)
+        return coords, self.val.copy()
 
     def to_buffers(self) -> dict[str, np.ndarray]:
         return {"pos1": self.pos1, "idx1": self.idx1,
@@ -752,6 +806,14 @@ class CSFFormat(StorageFormat):
                     dense[int(i), k, int(self.idx3[p3])] += self.val[p3]
         return dense
 
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        i_level2 = np.repeat(self.idx1, np.diff(self.pos2))
+        i_leaf = np.repeat(i_level2, np.diff(self.pos3))
+        k_leaf = np.repeat(self.idx2, np.diff(self.pos3))
+        coords = np.column_stack([i_leaf, k_leaf, self.idx3]) if self.idx3.size \
+            else np.empty((0, 3), dtype=np.int64)
+        return coords, self.val.copy()
+
     def to_buffers(self) -> dict[str, np.ndarray]:
         return {"idx1": self.idx1, "pos2": self.pos2, "idx2": self.idx2,
                 "pos3": self.pos3, "idx3": self.idx3, "val": self.val}
@@ -831,6 +893,9 @@ class DOKFormat(StorageFormat):
             dense[key] += value
         return dense
 
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        return _coo_from_entries(self.hashmap.entries, self.rank)
+
     def profile(self) -> Profile:
         coords = np.array(list(self.hashmap.entries.keys()), dtype=np.int64).reshape(-1, self.rank)
         branching = _branching_from_coords(coords)
@@ -882,6 +947,11 @@ class TrieFormat(StorageFormat):
         dense = np.zeros(self.shape, dtype=np.float64)
         _fill_dense_from_nested(dense, self.trie.nested, ())
         return dense
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        entries: dict[tuple[int, ...], float] = {}
+        _collect_nested_entries(self.trie.nested, (), entries)
+        return _coo_from_entries(entries, self.rank)
 
     def to_buffers(self) -> dict[str, np.ndarray]:
         from ..execution.buffers import BufferLevels
@@ -937,6 +1007,25 @@ def _entries_from_coo(coords: np.ndarray, values: np.ndarray,
     coords, values = sum_duplicates(coords, values, rank)
     return {tuple(int(c) for c in coordinate): float(v)
             for coordinate, v in zip(coords, values)}
+
+
+def _coo_from_entries(entries: Mapping[tuple[int, ...], float],
+                      rank: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`_entries_from_coo` (unsorted; callers canonicalize)."""
+    if not entries:
+        return np.empty((0, rank), dtype=np.int64), np.empty(0, dtype=np.float64)
+    coords = np.array(list(entries.keys()), dtype=np.int64).reshape(-1, rank)
+    values = np.array(list(entries.values()), dtype=np.float64)
+    return coords, values
+
+
+def _collect_nested_entries(nested: dict, prefix: tuple[int, ...],
+                            out: dict[tuple[int, ...], float]) -> None:
+    for key, value in nested.items():
+        if isinstance(value, dict):
+            _collect_nested_entries(value, prefix + (int(key),), out)
+        else:
+            out[prefix + (int(key),)] = float(value)
 
 
 def _fill_dense_from_nested(dense: np.ndarray, nested: dict, prefix: tuple[int, ...]) -> None:

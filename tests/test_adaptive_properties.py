@@ -238,6 +238,30 @@ def test_observed_card_of_a_scalar_is_scalar():
     assert observed_card(3.5).is_scalar
 
 
+def test_observed_card_of_empty_buffer_dict_truncates_at_empty_level():
+    # Regression: the BufferDict fast path used to emit a 0.0 per *declared*
+    # level below an empty one — zero-cardinality observations for loops that
+    # never ran, which poisoned the feedback overlay.  An empty level has no
+    # children; the card must stop there.
+    from repro.execution.buffers import BufferDict, BufferLevels
+
+    levels = BufferLevels.from_sorted_coords(
+        np.empty((0, 3), dtype=np.int64), np.empty(0))
+    card = observed_card(BufferDict(levels))
+    assert card.count == 0.0
+    assert card.elem().is_scalar  # truncated: no spurious deeper levels
+
+
+def test_observed_card_of_nonempty_buffer_dict_is_exact_per_level():
+    from repro.execution.buffers import BufferDict, BufferLevels
+
+    coords = np.array([[0, 0], [0, 1], [2, 0]], dtype=np.int64)
+    levels = BufferLevels.from_sorted_coords(coords, np.ones(3))
+    card = observed_card(BufferDict(levels))
+    assert card.count == 2.0            # two distinct outer keys
+    assert card.elem().count == 1.5     # three inner entries over two parents
+
+
 def test_sum_sources_of_finds_every_loop():
     plan = closed_plan("sum(<i, v> in X) sum(<j, w> in v) w")
     assert len(sum_sources_of(plan)) == 2

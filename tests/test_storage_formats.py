@@ -340,3 +340,105 @@ class TestFromCooEdgeCases:
         # Empty input stays empty (and keeps its shape).
         coords, values = sum_duplicates(np.empty((0, 2)), np.empty(0), 2)
         assert coords.shape == (0, 2) and values.shape == (0,)
+
+
+# ---------------------------------------------------------------------------
+# O(nnz) interchange: coo_arrays / scipy exports must never densify
+# ---------------------------------------------------------------------------
+
+import tracemalloc  # noqa: E402
+
+from repro.storage import coo_arrays  # noqa: E402
+from repro.storage.convert import to_scipy_csc, to_scipy_csr  # noqa: E402
+
+#: A huge-but-sparse matrix: 2^30 dense cells (8 GiB as float64), 1000 nnz.
+#: Any conversion path that materializes the dense array blows the ceiling
+#: (and likely the machine) instantly.
+_HUGE = 1 << 15
+#: Generous allocation ceiling for an O(nnz) conversion of 1000 entries.
+_CEILING_BYTES = 8 << 20
+
+
+def _huge_sparse_coo(rank=2, seed=0):
+    rng = np.random.default_rng(seed)
+    dim = _HUGE if rank == 2 else 1 << 10
+    coords = rng.integers(0, dim, size=(1000, rank))
+    return coords, rng.random(1000), (dim,) * rank
+
+
+@pytest.mark.parametrize("kind", ["coo", "csr", "csc", "dcsr", "dok", "trie"])
+def test_coo_arrays_is_o_nnz(kind):
+    coords, values, shape = _huge_sparse_coo()
+    fmt = ALL_FORMATS[kind].from_coo("H", coords, values, shape)
+    expected_coords, expected_values = sum_duplicates(coords, values, 2)
+    tracemalloc.start()
+    try:
+        got_coords, got_values = coo_arrays(fmt)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert peak < _CEILING_BYTES, f"{kind}: coo_arrays allocated {peak} bytes"
+    np.testing.assert_array_equal(got_coords, expected_coords)
+    np.testing.assert_allclose(got_values, expected_values)
+
+
+@pytest.mark.parametrize("kind", ["coo", "csf", "dok", "trie"])
+def test_coo_arrays_is_o_nnz_rank3(kind):
+    coords, values, shape = _huge_sparse_coo(rank=3)
+    fmt = ALL_FORMATS[kind].from_coo("H", coords, values, shape)
+    expected_coords, expected_values = sum_duplicates(coords, values, 3)
+    tracemalloc.start()
+    try:
+        got_coords, got_values = coo_arrays(fmt)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert peak < _CEILING_BYTES, f"{kind}: coo_arrays allocated {peak} bytes"
+    np.testing.assert_array_equal(got_coords, expected_coords)
+    np.testing.assert_allclose(got_values, expected_values)
+
+
+class TestScipyExports:
+    """`to_scipy_csr` / `to_scipy_csc` build from coordinates, never densify."""
+
+    scipy_sparse = pytest.importorskip("scipy.sparse")
+
+    @pytest.mark.parametrize("kind", ["coo", "csr", "csc", "dcsr", "dok", "trie"])
+    def test_csr_and_csc_match_on_huge_sparse(self, kind):
+        coords, values, shape = _huge_sparse_coo()
+        fmt = ALL_FORMATS[kind].from_coo("H", coords, values, shape)
+        expected_coords, expected_values = sum_duplicates(coords, values, 2)
+        tracemalloc.start()
+        try:
+            csr = to_scipy_csr(fmt)
+            csc = to_scipy_csc(fmt)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < _CEILING_BYTES, f"{kind}: scipy export allocated {peak}"
+        assert csr.shape == shape and csc.shape == shape
+        for matrix in (csr.tocoo(), csc.tocoo()):
+            order = np.lexsort((matrix.col, matrix.row))
+            np.testing.assert_array_equal(
+                np.column_stack([matrix.row[order], matrix.col[order]]),
+                expected_coords)
+            np.testing.assert_allclose(matrix.data[order], expected_values)
+
+    @pytest.mark.parametrize("kind", ["coo", "csr", "csc", "dcsr", "dok", "trie"])
+    def test_empty_matrix_exports(self, kind):
+        fmt = ALL_FORMATS[kind].from_coo(
+            "E", np.empty((0, 2), dtype=np.int64), np.empty(0), (4, 5))
+        csr = to_scipy_csr(fmt)
+        csc = to_scipy_csc(fmt)
+        assert csr.shape == (4, 5) and csr.nnz == 0
+        assert csc.shape == (4, 5) and csc.nnz == 0
+
+    def test_csc_of_csc_is_built_from_native_arrays(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 0.0]])
+        fmt = ALL_FORMATS["csc"].from_dense("C", dense)
+        csc = to_scipy_csc(fmt)
+        assert csc.format == "csc"
+        np.testing.assert_array_equal(csc.toarray(), dense)
+        # native value array is reused, not rebuilt through a COO detour
+        # (scipy downcasts the int64 index arrays, so only data is shared)
+        assert np.shares_memory(csc.data, fmt.val)
